@@ -1,0 +1,45 @@
+"""Alias resolution from tracenet data (extension experiment).
+
+The paper's introduction: "router level maps group the interfaces hosted
+by the same router into a single unit (via alias resolution)".  tracenet's
+collection structure yields that grouping almost for free: the ingress
+interface and the contra-pivot of every positioned subnet sit on one
+router, and same-subnet members are guaranteed non-aliases.  An Ally-style
+IP-ID pass (Rocketfuel, the paper's [21]) verifies the analytical pairs.
+"""
+
+from conftest import write_artifact
+from repro import experiments
+
+
+def test_alias_resolution(benchmark):
+    outcome = benchmark.pedantic(experiments.run_alias_resolution,
+                                 kwargs=dict(seed=7), rounds=1, iterations=1)
+    text = outcome.render()
+    print()
+    print(text)
+    write_artifact("alias_resolution.txt", text)
+
+    # Analytical pairs come free and are already highly precise.
+    assert outcome.analytical_precision >= 0.90
+    assert outcome.analytical_pairs > 100
+    # Ally filtering trades a little recall for (near-)perfect precision.
+    assert outcome.filtered_precision >= outcome.analytical_precision
+    assert outcome.filtered_precision >= 0.99
+    assert outcome.filtered_recall >= 0.3
+    # Four probes per verified pair (plus retries on silent addresses).
+    assert 4 * outcome.ally_tests <= outcome.extra_probes \
+        <= 8 * outcome.ally_tests
+    # The negative constraints vastly outnumber the positive pairs.
+    assert outcome.negative_constraints > outcome.analytical_pairs
+
+
+def test_router_level_map(benchmark):
+    """The combined product: subnets + alias groups -> router-level map."""
+    outcome = benchmark.pedantic(experiments.run_alias_resolution,
+                                 kwargs=dict(seed=11), rounds=1, iterations=1)
+    print()
+    print(outcome.router_map_summary)
+    print(outcome.router_map_accuracy)
+    assert "router-level map" in outcome.router_map_summary
+    assert "precision" in outcome.router_map_accuracy

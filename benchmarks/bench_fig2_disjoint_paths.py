@@ -1,0 +1,25 @@
+"""Figure 2 — the overlay-path case study.
+
+On the figure's 9-router network, traceroute's view makes P1 (A->D) and
+P3 (B->C) look node- and link-disjoint, while both actually cross one
+multi-access LAN; tracenet's subnet annotations expose the shared link.
+"""
+
+from conftest import write_artifact
+from repro import experiments
+
+
+def test_fig2_disjoint_paths(benchmark):
+    outcome = benchmark.pedantic(experiments.run_disjoint_paths,
+                                 rounds=1, iterations=1)
+    text = outcome.render()
+    print()
+    print(text)
+    write_artifact("fig2_disjoint_paths.txt", text)
+
+    assert outcome.traceroute_concludes_disjoint      # the wrong conclusion
+    assert outcome.tracenet_sees_shared_lan           # tracenet prevents it
+    t1 = outcome.details["t1"]
+    t3 = outcome.details["t3"]
+    shared = {s.prefix for s in t1.subnets} & {s.prefix for s in t3.subnets}
+    assert outcome.shared_lan in shared

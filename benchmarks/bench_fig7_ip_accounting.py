@@ -1,0 +1,33 @@
+"""Figure 7 — target / subnetized / un-subnetized IP addresses per ISP at
+each PlanetLab site.
+
+Paper: Sprintlink is the least responsive ISP (most un-subnetized
+addresses); NTT America is the most responsive and, hosting /20-/22 LANs,
+accounts for the most subnetized addresses.
+"""
+
+from collections import defaultdict
+
+from conftest import write_artifact
+
+
+def test_fig7_ip_accounting(benchmark, crossval_outcome):
+    rows = benchmark.pedantic(crossval_outcome.accounting,
+                              rounds=1, iterations=1)
+    text = crossval_outcome.render_figure7()
+    print()
+    print(text)
+    write_artifact("fig7_ip_accounting.txt", text)
+
+    subnetized = defaultdict(int)
+    unsubnetized = defaultdict(int)
+    for row in rows:
+        subnetized[row.group] += row.subnetized
+        unsubnetized[row.group] += row.unsubnetized
+
+    # NTT's large LANs make it the top subnetized-address contributor.
+    assert subnetized["ntt"] == max(subnetized.values())
+    # Sprintlink's rate limiting and silent interfaces make it the top
+    # un-subnetized contributor.
+    assert unsubnetized["sprintlink"] == max(unsubnetized.values())
+    assert unsubnetized["sprintlink"] > unsubnetized["ntt"]

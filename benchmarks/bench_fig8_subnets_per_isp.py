@@ -1,0 +1,26 @@
+"""Figure 8 — subnet counts per ISP at each PlanetLab site.
+
+Paper: subnet counts per ISP agree closely across the three vantage
+points; Sprintlink yields the most subnets and NTT America the fewest —
+the inversion against Figure 7 (NTT has the most subnetized addresses)
+because a few large subnets host more addresses than many small ones.
+"""
+
+from conftest import write_artifact
+
+
+def test_fig8_subnets_per_isp(benchmark, crossval_outcome):
+    counts = benchmark.pedantic(crossval_outcome.subnet_counts,
+                                rounds=1, iterations=1)
+    text = crossval_outcome.render_figure8()
+    print()
+    print(text)
+    write_artifact("fig8_subnets_per_isp.txt", text)
+
+    for site, per_isp in counts.items():
+        assert per_isp["sprintlink"] == max(per_isp.values()), site
+        assert per_isp["ntt"] == min(per_isp.values()), site
+    # Cross-vantage coherence: per-ISP counts within 2x of each other.
+    for isp in ("sprintlink", "ntt", "level3", "abovenet"):
+        values = [counts[site][isp] for site in counts]
+        assert max(values) <= 2 * max(1, min(values)), (isp, values)

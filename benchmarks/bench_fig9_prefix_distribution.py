@@ -1,0 +1,32 @@
+"""Figure 9 — subnet prefix-length distribution at the three sites
+(log scale in the paper).
+
+Paper: /31 and /30 point-to-point links dominate, /29 follows with a big
+drop, then a sharp decrease toward /28 and shorter — with a small uptick
+around /24 — and the three vantage points' curves coincide.
+"""
+
+from conftest import write_artifact
+
+
+def test_fig9_prefix_distribution(benchmark, crossval_outcome):
+    histograms = benchmark.pedantic(crossval_outcome.histograms,
+                                    rounds=1, iterations=1)
+    text = crossval_outcome.render_figure9()
+    print()
+    print(text)
+    write_artifact("fig9_prefix_distribution.txt", text)
+
+    for site, histogram in histograms.items():
+        p2p = histogram[30] + histogram[31]
+        multi_access = sum(histogram[length] for length in range(20, 30))
+        # Point-to-point links dominate (the figure's defining feature).
+        assert p2p > multi_access, site
+        # /29 is the most common multi-access size, with a sharp decrease
+        # beyond it.
+        assert histogram[29] >= histogram[28] >= 0, site
+        assert histogram[29] > histogram[27], site
+
+    # The three curves are coherent: same dominant bucket everywhere.
+    dominant = {max(h, key=h.get) for h in histograms.values()}
+    assert len(dominant) == 1

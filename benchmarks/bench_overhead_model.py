@@ -1,0 +1,34 @@
+"""Section 3.6 — probing overhead: measured cost vs the analytic bounds.
+
+Paper: exploring an on-path point-to-point subnet costs as little as 4
+probes; the worst case for a multi-access LAN is ``7|S| + 7``.  Measured
+costs (which additionally pay for silence retries and boundary probes) must
+stay within the model.
+"""
+
+from conftest import write_artifact
+from repro import experiments
+from repro.core import overhead
+
+SIZES = (2, 4, 6, 8, 10, 14, 22, 30, 60)
+
+
+def test_overhead_model(benchmark):
+    outcome = benchmark.pedantic(experiments.run_overhead_sweep,
+                                 kwargs=dict(sizes=SIZES),
+                                 rounds=1, iterations=1)
+    text = outcome.render()
+    print()
+    print(text)
+    write_artifact("overhead_model.txt", text)
+
+    assert all(point.within_model for point in outcome.points)
+    # Cost grows roughly linearly in |S| (the model's 7|S|+7 shape): the
+    # per-member cost stays bounded as subnets grow.
+    big = outcome.points[-1]
+    small = next(p for p in outcome.points if p.subnet_size >= 4)
+    per_member_big = big.measured_probes / big.subnet_size
+    per_member_small = small.measured_probes / small.subnet_size
+    assert per_member_big <= per_member_small * 1.5
+    # The worst-case layout the upper bound guards against is rare.
+    assert overhead.worst_case_probability(8) < 1e-3

@@ -1,0 +1,22 @@
+"""Section 3.7 — path fluctuations.
+
+Classic traceroute's per-probe flow rotation scatters its hop lists across
+a per-flow load balancer; tracenet, built on the stable-ingress-router
+concept with flow-stable ICMP probes, keeps returning the same subnet.
+"""
+
+from conftest import write_artifact
+from repro import experiments
+
+
+def test_path_fluctuations(benchmark):
+    outcome = benchmark.pedantic(experiments.run_fluctuation_experiment,
+                                 kwargs=dict(runs=12, seed=3),
+                                 rounds=1, iterations=1)
+    text = outcome.render()
+    print()
+    print(text)
+    write_artifact("path_fluctuations.txt", text)
+
+    assert outcome.traceroute_path_variants > 1
+    assert outcome.tracenet_subnet_variants == 1

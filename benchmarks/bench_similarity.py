@@ -1,0 +1,42 @@
+"""Section 4.1.2 — similarity of collected vs original topologies.
+
+Paper figures (including unresponsive subnets): Internet2 0.83 prefix /
+0.86 size; GEANT 0.900 / 0.907.  Note: the paper's GEANT values are not
+reproducible from its own equations with 98 missing subnets (see
+EXPERIMENTS.md); we report both the inclusive similarity and the similarity
+over observable subnets.
+"""
+
+from conftest import write_artifact
+from repro import experiments
+from repro.evaluation import render_similarity
+
+
+def run():
+    return (experiments.run_internet2_survey(seed=7),
+            experiments.run_geant_survey(seed=7))
+
+
+def test_similarity_rates(benchmark):
+    internet2, geant = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for outcome in (internet2, geant):
+        lines.append(render_similarity(
+            f"{outcome.name} (incl. unresponsive)", *outcome.similarity()))
+        lines.append(render_similarity(
+            f"{outcome.name} (excl. unresponsive)",
+            *outcome.similarity(exclude_unresponsive=True)))
+    text = "\n".join(lines)
+    print()
+    print(text)
+    write_artifact("similarity.txt", text)
+
+    i2_prefix, i2_size = internet2.similarity()
+    assert 0.75 <= i2_prefix <= 0.90          # paper: 0.83
+    assert 0.75 <= i2_size <= 0.92            # paper: 0.86
+    ge_prefix_x, ge_size_x = geant.similarity(exclude_unresponsive=True)
+    assert ge_prefix_x >= 0.90                # paper's 0.900, observable view
+    assert ge_size_x >= 0.90                  # paper's 0.907, observable view
+    # Size similarity weights large subnets more, and tracenet's errors
+    # concentrate in small blocks: size >= prefix on both networks.
+    assert i2_size >= i2_prefix - 0.02

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""The Table 1 experiment end to end: tracenet accuracy over Internet2.
+
+Builds the Internet2-like ground-truth topology (179 subnets with the
+paper's prefix distribution and unresponsiveness structure), traces one
+random target per subnet from a single vantage, and prints the collected
+vs original distribution table plus the similarity rates of Section 4.1.2.
+
+Run:  python examples/internet2_survey.py [seed]
+"""
+
+import sys
+
+from repro import experiments
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    outcome = experiments.run_internet2_survey(seed=seed)
+    print(outcome.render())
+    print()
+    print(f"paper reference: 73.7% exact including unresponsive subnets, "
+          f"94.9% excluding; similarities 0.83 / 0.86")
+    print(f"this run:        {outcome.exact_match_rate:.1%} / "
+          f"{outcome.observable_exact_match_rate:.1%}; "
+          f"similarities {outcome.similarity()[0]:.2f} / "
+          f"{outcome.similarity()[1]:.2f}")
+
+
+if __name__ == "__main__":
+    main()

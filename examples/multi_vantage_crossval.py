@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""The Section 4.2 experiment: cross-validating tracenet across vantages.
+
+Synthesizes the four-ISP internet (Sprintlink, NTT America, Level3,
+AboveNet plus a transit core), traces a common target set from the three
+PlanetLab-like vantage points, and prints Figures 6-9.
+
+Run:  python examples/multi_vantage_crossval.py [scale] [targets_per_isp]
+(defaults: scale 0.3, 40 targets per ISP — a fast miniature; the benches
+run it larger.)
+"""
+
+import sys
+
+from repro import experiments
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    per_isp = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    outcome = experiments.run_cross_validation(scale=scale, per_isp=per_isp)
+    print(f"internet: {outcome.internet.topology.summary()}")
+    print(f"common target set: {len(outcome.targets)} addresses")
+    print()
+    print(outcome.render())
+    print()
+    print("paper reference: ~60% of a vantage's subnets observed by all "
+          "three sites, ~80% by at least one other; Sprintlink yields the "
+          "most subnets, NTT the fewest (but the most subnetized IPs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""tracenet vs traceroute + offline subnet inference (the paper's [7]).
+
+The pre-tracenet pipeline harvests addresses with traceroute and infers
+"same LAN" relations afterwards.  Its blind spot: it only ever reasons
+about addresses that happened to appear on some traced path.  tracenet
+probes the subnet *while standing at it*, so it recovers interfaces no
+trace ever crossed.
+
+Run:  python examples/online_vs_offline.py [seed]
+"""
+
+import sys
+
+from repro import Engine, TraceNET
+from repro.baselines import (
+    Traceroute,
+    infer_subnets,
+    offline_dataset_from_traces,
+)
+from repro.evaluation import collected_prefixes, match_subnets
+from repro.topogen import internet2
+
+
+def main():
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    network = internet2.build(seed=seed)
+    targets = internet2.targets(network, seed=seed)
+
+    # Online: tracenet.
+    tracenet_tool = TraceNET(
+        Engine(network.topology, policy=network.policy), "utdallas")
+    tracenet_tool.trace_many(targets)
+    online_blocks = collected_prefixes(tracenet_tool.collected_subnets)
+    online_probes = tracenet_tool.prober.stats.sent
+
+    # Offline: traceroute sweep, then post-hoc inference.
+    tracer = Traceroute(
+        Engine(network.topology, policy=network.policy), "utdallas",
+        vary_flow=False)
+    traces = [tracer.trace(target) for target in targets]
+    dataset = offline_dataset_from_traces(traces)
+    inferred = infer_subnets(dataset)
+    offline_blocks = [s.prefix for s in inferred if s.size >= 2]
+    offline_probes = tracer.prober.stats.sent
+
+    online = match_subnets(network.ground_truth, online_blocks)
+    offline = match_subnets(network.ground_truth, offline_blocks)
+
+    print(f"ground truth: {len(network.ground_truth)} subnets")
+    print()
+    print(f"{'pipeline':<38} {'probes':>8} {'exact':>7} {'addresses':>10}")
+    print(f"{'tracenet (online)':<38} {online_probes:>8} "
+          f"{online.exact_match_rate():>7.1%} "
+          f"{len(tracenet_tool.collected_addresses):>10}")
+    print(f"{'traceroute + offline inference [7]':<38} {offline_probes:>8} "
+          f"{offline.exact_match_rate():>7.1%} "
+          f"{len(dataset):>10}")
+    print()
+    print("tracenet spends extra probes at each hop but recovers the "
+          "subnet relation during collection; the offline pipeline only "
+          "sees path addresses and leaves most LAN members undiscovered.")
+
+
+if __name__ == "__main__":
+    main()

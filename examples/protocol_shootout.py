@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Table 3: the same survey with ICMP, UDP and TCP probes.
+
+Routers answer ICMP far more readily than UDP, and barely answer TCP —
+so the probing protocol decides how much topology a collector sees.
+
+Run:  python examples/protocol_shootout.py [scale] [targets_per_isp]
+"""
+
+import sys
+
+from repro import experiments
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    per_isp = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    outcome = experiments.run_protocol_comparison(scale=scale, per_isp=per_isp)
+    print(outcome.render())
+    totals = outcome.totals()
+    print()
+    print(f"totals: ICMP {totals['icmp']}, UDP {totals['udp']}, "
+          f"TCP {totals['tcp']}")
+    print("paper reference (site Rice): ICMP 11995, UDP 3779, TCP 68 — "
+          "ICMP clearly outperforms UDP and TCP is negligible.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Build a queryable subnet-level topology map from tracenet collections.
+
+Collects from two vantage points on the Figure 2 network, merges the
+per-vantage views, builds the subnet graph, answers the overlay designer's
+link-disjointness question through the API, and exports GraphViz.
+
+Run:  python examples/topology_map.py [--dot]
+"""
+
+import sys
+
+from repro import TraceNET
+from repro.mapping import map_from_collections, render_adjacency
+from repro.topogen import figures
+
+
+def main():
+    net = figures.figure2_network()
+    collections = {}
+    traces = []
+    for vantage, destination in (("A", net.hosts["D"].address),
+                                 ("B", net.hosts["C"].address),
+                                 ("A", net.hosts["C"].address)):
+        tool = TraceNET(net.engine(), vantage)
+        traces.append(tool.trace(destination))
+        collections.setdefault(vantage, []).extend(tool.collected_subnets)
+
+    topo_map = map_from_collections(collections, traces)
+    print(topo_map.summary())
+    print()
+    print(render_adjacency(topo_map))
+    print()
+
+    path_a = [a for a in traces[0].path_addresses if a is not None]
+    path_b = [a for a in traces[1].path_addresses if a is not None]
+    shared = topo_map.shared_subnets(path_a, path_b)
+    print(f"P1 (A->D) and P3 (B->C) link-disjoint? "
+          f"{topo_map.link_disjoint(path_a, path_b)}")
+    if shared:
+        print(f"shared subnets: {', '.join(str(s.prefix) for s in shared)}")
+
+    if "--dot" in sys.argv:
+        print()
+        print(topo_map.to_dot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""TraceNET reproduction: an Internet topology data collector.
+
+Reproduces *Tozal & Sarac, "TraceNET: An Internet Topology Data Collector",
+IMC 2010* on a deterministic router-level network simulator.
+
+Quickstart::
+
+    from repro import TraceNET, Engine, TopologyBuilder, ip
+
+    builder = TopologyBuilder("demo")
+    builder.link("R1", "R2")
+    builder.lan(["R2", "R3", "R4"], length=29)
+    stub = builder.link("R4", "R5")
+    vantage = builder.edge_host("vantage", "R1")
+    engine = Engine(builder.build())
+
+    tool = TraceNET(engine, "vantage")
+    result = tool.trace(min(stub.addresses))
+    print(result.describe())
+"""
+
+from .core import ObservedSubnet, TraceHop, TraceNET, TraceResult
+from .netsim import (
+    Engine,
+    LoadBalancer,
+    LoadBalancingMode,
+    Prefix,
+    PrefixAllocator,
+    Probe,
+    Protocol,
+    Response,
+    ResponsePolicy,
+    ResponseType,
+    Topology,
+    TopologyBuilder,
+    format_ip,
+    ip,
+)
+from .probing import ProbeBudget, ProbeBudgetExceeded, Prober
+from .runner import SurveyProgress, SurveyRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "LoadBalancer",
+    "LoadBalancingMode",
+    "ObservedSubnet",
+    "Prefix",
+    "PrefixAllocator",
+    "Probe",
+    "ProbeBudget",
+    "ProbeBudgetExceeded",
+    "Prober",
+    "Protocol",
+    "SurveyProgress",
+    "SurveyRunner",
+    "Response",
+    "ResponsePolicy",
+    "ResponseType",
+    "Topology",
+    "TopologyBuilder",
+    "TraceHop",
+    "TraceNET",
+    "TraceResult",
+    "format_ip",
+    "ip",
+]

@@ -1,0 +1,35 @@
+"""IP alias resolution: analytical pairs from tracenet data plus
+Ally-style IP-ID verification, with ground-truth evaluation."""
+
+from .ally import AliasVerdict, AllyResolver, AllyResult
+from .analytical import (
+    AliasPair,
+    alias_sets,
+    analytical_pairs,
+    negative_pairs,
+    pair_keys,
+)
+from .evaluate import (
+    AliasAccuracy,
+    ground_truth_pairs,
+    pairs_from_sets,
+    score_pairs,
+)
+from .unionfind import UnionFind, groups_from_pairs
+
+__all__ = [
+    "AliasAccuracy",
+    "AliasPair",
+    "AliasVerdict",
+    "AllyResolver",
+    "AllyResult",
+    "UnionFind",
+    "alias_sets",
+    "analytical_pairs",
+    "negative_pairs",
+    "ground_truth_pairs",
+    "groups_from_pairs",
+    "pair_keys",
+    "pairs_from_sets",
+    "score_pairs",
+]

@@ -1,0 +1,99 @@
+"""Ally-style IP-ID alias resolution (Rocketfuel's technique, paper ref [21]).
+
+Many routers stamp every packet they originate from one shared, increasing
+IP-ID counter.  Probing two addresses in quick alternation and observing
+interleaved, close-together IDs is then strong evidence the addresses share
+a router; far-apart or non-monotonic IDs are evidence against.  Routers
+that randomize the ID field (modern stacks) are detected and reported as
+inconclusive rather than non-aliases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..probing.prober import Prober
+
+PHASE_ALLY = "alias-ally"
+
+#: Maximum ID advance (mod 2^16) between consecutive replies of one counter.
+DEFAULT_TOLERANCE = 220
+#: Gap treated as "wrapped/random", beyond which ordering says nothing.
+RANDOM_GAP = 20_000
+
+
+class AliasVerdict(enum.Enum):
+    ALIASES = "aliases"
+    NOT_ALIASES = "not-aliases"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class AllyResult:
+    """Outcome of one pairwise test, with the observed ID sequence."""
+
+    first: int
+    second: int
+    verdict: AliasVerdict
+    ids: List[Optional[int]]
+    reason: str = ""
+
+
+class AllyResolver:
+    """Pairwise IP-ID alias tester bound to one prober.
+
+    Args:
+        prober: probe transport (budget/caching rules apply; the resolver
+            disables response caching implicitly by using distinct flow
+            ids, since repeated IDs from a cache would fake a shared
+            counter).
+        tolerance: maximum credible counter advance between our packets.
+    """
+
+    def __init__(self, prober: Prober, tolerance: int = DEFAULT_TOLERANCE):
+        self.prober = prober
+        self.tolerance = tolerance
+        self._flow = 7_000_000  # distinct flow ids bypass the probe cache
+        self.tests_run = 0
+
+    def are_aliases(self, first: int, second: int) -> AllyResult:
+        """Probe first/second/first/second and judge the ID interleaving."""
+        self.tests_run += 1
+        ids: List[Optional[int]] = []
+        for address in (first, second, first, second):
+            response = self.prober.probe(address, ttl=64, phase=PHASE_ALLY,
+                                         flow_id=self._next_flow())
+            ids.append(response.ip_id
+                       if response is not None and response.is_alive_signal
+                       else None)
+        if any(value is None for value in ids):
+            return AllyResult(first, second, AliasVerdict.UNKNOWN, ids,
+                              reason="unresponsive address")
+        # Self-consistency first: the two replies from one address must look
+        # like one counter, otherwise the stack randomizes its IDs and the
+        # test can prove nothing either way.
+        for start in (0, 1):
+            if self._advance(ids[start], ids[start + 2]) > 3 * self.tolerance:
+                return AllyResult(first, second, AliasVerdict.UNKNOWN, ids,
+                                  reason="randomized ip-ids")
+        deltas = [self._advance(a, b) for a, b in zip(ids, ids[1:])]
+        if all(delta <= self.tolerance for delta in deltas):
+            return AllyResult(first, second, AliasVerdict.ALIASES, ids,
+                              reason="interleaved shared counter")
+        return AllyResult(first, second, AliasVerdict.NOT_ALIASES, ids,
+                          reason="independent counters")
+
+    def verify_pairs(self, pairs) -> List[AllyResult]:
+        """Test a batch of (first, second) pairs."""
+        return [self.are_aliases(first, second) for first, second in pairs]
+
+    def _next_flow(self) -> int:
+        self._flow += 1
+        return self._flow
+
+    @staticmethod
+    def _advance(a: int, b: int) -> int:
+        """Forward distance from id ``a`` to ``b`` on the mod-2^16 circle."""
+        return (b - a) % 65536

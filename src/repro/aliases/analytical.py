@@ -1,0 +1,93 @@
+"""Analytical alias resolution from tracenet's own data.
+
+Router-level maps need interfaces grouped into routers (the paper's
+introduction: "router level maps group the interfaces hosted by the same
+router into a single unit (via alias resolution)").  Classic resolution
+probes address pairs; tracenet's collection structure yields alias pairs
+*without any additional probing*:
+
+* a subnet's **ingress interface** (obtained by expiring a probe one hop
+  short of the pivot) and its **contra-pivot** (the member one hop closer
+  than every other member) both sit on the ingress router;
+* the **trace entry** ``u`` — the address the ingress router reported in
+  trace-collection mode — sits on that same router whenever the subnet is
+  on the trace path.
+
+These are exactly the relations the authors exploit in their follow-on
+work on subnet-centric alias resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from ..core.results import ObservedSubnet
+from .unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class AliasPair:
+    """Two addresses believed to sit on one router, plus the evidence."""
+
+    first: int
+    second: int
+    evidence: str
+
+    def normalized(self) -> Tuple[int, int]:
+        return (self.first, self.second) if self.first <= self.second else \
+            (self.second, self.first)
+
+
+def analytical_pairs(subnets: Iterable[ObservedSubnet]) -> List[AliasPair]:
+    """Extract alias pairs implied by observed-subnet structure."""
+    pairs: List[AliasPair] = []
+    for subnet in subnets:
+        if subnet.contra_pivot is None:
+            continue
+        if subnet.ingress is not None and subnet.ingress != subnet.contra_pivot:
+            pairs.append(AliasPair(subnet.ingress, subnet.contra_pivot,
+                                   evidence="ingress+contra-pivot"))
+        # The trace entry u sits on the ingress router only when the pivot
+        # is the trace-observed address itself: when positioning promoted
+        # v's mate, u is the hop *before* the ingress router and the
+        # relation does not hold.
+        if (subnet.on_trace_path
+                and subnet.trace_address == subnet.pivot
+                and subnet.trace_entry is not None
+                and subnet.trace_entry not in (subnet.contra_pivot,
+                                               subnet.ingress)):
+            pairs.append(AliasPair(subnet.trace_entry, subnet.contra_pivot,
+                                   evidence="trace-entry+contra-pivot"))
+    return pairs
+
+
+def negative_pairs(subnets: Iterable[ObservedSubnet]) -> Set[Tuple[int, int]]:
+    """Same-subnet address pairs — guaranteed *non*-aliases.
+
+    Interfaces on one LAN belong to different routers (a router attaches to
+    a subnet through exactly one interface), so every member pair of an
+    observed subnet is a negative constraint for alias resolution.  This is
+    the complementary gift of subnet-level collection: resolvers can prune
+    their candidate space before spending any probes.
+    """
+    negatives: Set[Tuple[int, int]] = set()
+    for subnet in subnets:
+        members = sorted(subnet.members)
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                negatives.add((first, second))
+    return negatives
+
+
+def alias_sets(pairs: Iterable[AliasPair]) -> List[Set[int]]:
+    """Close the pairwise relation into router interface groups."""
+    structure = UnionFind()
+    for pair in pairs:
+        structure.union(pair.first, pair.second)
+    return structure.groups()
+
+
+def pair_keys(pairs: Iterable[AliasPair]) -> Set[Tuple[int, int]]:
+    """Deduplicated, order-normalized pair set (for evaluation)."""
+    return {pair.normalized() for pair in pairs}

@@ -1,0 +1,74 @@
+"""Evaluating alias inference against simulator ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, List, Set, Tuple
+
+from ..netsim.topology import Topology
+
+
+@dataclass
+class AliasAccuracy:
+    """Precision/recall of an inferred alias pair set."""
+
+    true_positives: int
+    false_positives: int
+    ground_truth_pairs: int
+
+    @property
+    def inferred_pairs(self) -> int:
+        return self.true_positives + self.false_positives
+
+    @property
+    def precision(self) -> float:
+        if not self.inferred_pairs:
+            return 1.0
+        return self.true_positives / self.inferred_pairs
+
+    @property
+    def recall(self) -> float:
+        if not self.ground_truth_pairs:
+            return 1.0
+        return self.true_positives / self.ground_truth_pairs
+
+    def describe(self) -> str:
+        return (f"{self.inferred_pairs} pairs inferred: "
+                f"precision {self.precision:.1%}, recall {self.recall:.1%} "
+                f"(of {self.ground_truth_pairs} true pairs)")
+
+
+def ground_truth_pairs(topology: Topology,
+                       restrict_to: Iterable[int] = None) -> Set[Tuple[int, int]]:
+    """All same-router address pairs, optionally restricted to a set of
+    observed addresses (recall should not punish unseen interfaces)."""
+    wanted = set(restrict_to) if restrict_to is not None else None
+    pairs: Set[Tuple[int, int]] = set()
+    for router in topology.routers.values():
+        addresses = sorted(router.addresses)
+        if wanted is not None:
+            addresses = [a for a in addresses if a in wanted]
+        for a, b in combinations(addresses, 2):
+            pairs.add((a, b))
+    return pairs
+
+
+def score_pairs(inferred: Iterable[Tuple[int, int]],
+                truth: Set[Tuple[int, int]]) -> AliasAccuracy:
+    """Precision/recall of normalized inferred pairs against truth."""
+    normalized = {(min(a, b), max(a, b)) for a, b in inferred}
+    true_positives = len(normalized & truth)
+    return AliasAccuracy(
+        true_positives=true_positives,
+        false_positives=len(normalized) - true_positives,
+        ground_truth_pairs=len(truth),
+    )
+
+
+def pairs_from_sets(alias_sets: Iterable[Set[int]]) -> List[Tuple[int, int]]:
+    """Expand alias sets into their implied pairwise relation."""
+    pairs: List[Tuple[int, int]] = []
+    for group in alias_sets:
+        pairs.extend(combinations(sorted(group), 2))
+    return pairs

@@ -1,0 +1,60 @@
+"""A small union-find for grouping interface addresses into routers."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+
+class UnionFind:
+    """Disjoint sets with path compression and union by size."""
+
+    def __init__(self):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+    def together(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[Set[Hashable]]:
+        """All disjoint sets, largest first."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return sorted(by_root.values(), key=len, reverse=True)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+def groups_from_pairs(pairs: Iterable) -> List[Set[Hashable]]:
+    """Union-find over an iterable of 2-tuples."""
+    structure = UnionFind()
+    for a, b in pairs:
+        structure.union(a, b)
+    return structure.groups()

@@ -1,0 +1,95 @@
+"""DisCarte-style record-route tracing (the paper's reference [20]).
+
+DisCarte sets the IP record-route option on traceroute probes so compliant
+routers stamp their *outgoing* interface — yielding up to two addresses per
+hop (the TTL-Exceeded source, normally the incoming interface, plus the RR
+stamp).  It remains limited to the first 9 hops by the option's size and to
+RR-compliant routers; tracenet's subnet exploration has neither limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..netsim.engine import Engine
+from ..netsim.packet import RECORD_ROUTE_SLOTS, Probe, Protocol
+from ..netsim.topology import Host
+
+
+@dataclass
+class RecordRouteHop:
+    """One hop of a record-route trace."""
+
+    ttl: int
+    source: Optional[int]
+    stamps: tuple = ()
+
+    @property
+    def addresses(self) -> Set[int]:
+        found = set(self.stamps)
+        if self.source is not None:
+            found.add(self.source)
+        return found
+
+
+@dataclass
+class RecordRouteTrace:
+    """A DisCarte-style session result."""
+
+    destination: int
+    hops: List[RecordRouteHop] = field(default_factory=list)
+    reached: bool = False
+    probes_sent: int = 0
+
+    @property
+    def addresses(self) -> Set[int]:
+        collected: Set[int] = set()
+        for hop in self.hops:
+            collected |= hop.addresses
+        return collected
+
+
+class DisCarte:
+    """Record-route tracer bound to one vantage point."""
+
+    def __init__(self, engine: Engine, vantage_host_id: str,
+                 max_hops: int = 30, gap_limit: int = 3):
+        if vantage_host_id not in engine.topology.hosts:
+            raise ValueError(f"unknown vantage host {vantage_host_id!r}")
+        self.engine = engine
+        self.vantage: Host = engine.topology.hosts[vantage_host_id]
+        self.max_hops = max_hops
+        self.gap_limit = gap_limit
+        self.probes_sent = 0
+
+    def trace(self, destination: int) -> RecordRouteTrace:
+        """TTL-scoped probes with the record-route option set."""
+        result = RecordRouteTrace(destination=destination)
+        anonymous_streak = 0
+        for ttl in range(1, self.max_hops + 1):
+            self.probes_sent += 1
+            result.probes_sent += 1
+            response = self.engine.send(Probe(
+                src=self.vantage.address,
+                dst=destination,
+                ttl=ttl,
+                protocol=Protocol.ICMP,
+                record_route=True,
+            ))
+            if response is None:
+                result.hops.append(RecordRouteHop(ttl=ttl, source=None))
+                anonymous_streak += 1
+                if anonymous_streak >= self.gap_limit:
+                    break
+                continue
+            anonymous_streak = 0
+            result.hops.append(RecordRouteHop(
+                ttl=ttl,
+                source=response.source,
+                stamps=response.record_route[:RECORD_ROUTE_SLOTS],
+            ))
+            if response.is_alive_signal:
+                result.reached = True
+                break
+        return result

@@ -1,0 +1,141 @@
+"""Offline subnet inference over traceroute data (the paper's reference [7]).
+
+Gunes & Sarac infer the "being on the same LAN" relation as a *post
+processing* step over addresses harvested by many traceroute runs.  The
+paper positions tracenet against exactly this pipeline: the offline method
+only ever sees addresses that happened to appear on some traced path, so it
+under-covers subnets, and it must re-derive distance relations from the data
+set instead of probing at the moment of discovery.
+
+The inference implemented here follows the published intuition:
+
+1. every candidate CIDR block containing observed addresses is scored;
+2. a block is *accepted* when its observed members are hop-consistent (unit
+   subnet diameter: max-min distance <= 1, with at most one address on the
+   near side — the ingress), and the block is at least half utilized;
+3. maximal accepted blocks win (a /29 absorbs its /30 children).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..netsim.addressing import Prefix
+
+MIN_INFERRED_PREFIX = 24
+
+
+@dataclass(frozen=True)
+class InferredSubnet:
+    """One offline-inferred subnet: the block plus its observed members."""
+
+    prefix: Prefix
+    members: frozenset
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def infer_subnets(distances: Dict[int, int],
+                  min_prefix_length: int = MIN_INFERRED_PREFIX
+                  ) -> List[InferredSubnet]:
+    """Group observed addresses into subnets.
+
+    Args:
+        distances: observed address -> hop distance from the vantage point
+            (addresses with unknown distance should be omitted).
+        min_prefix_length: largest block size considered (/24 by default).
+
+    Returns:
+        Maximal accepted blocks, sorted by network address.  Addresses that
+        join no multi-member block are returned as /32 singletons.
+    """
+    addresses = sorted(distances)
+    placed: Set[int] = set()
+    accepted: List[InferredSubnet] = []
+
+    # Widest blocks first so maximal ones claim their addresses early.
+    for length in range(min_prefix_length, 32):
+        for block in _candidate_blocks(addresses, length):
+            members = [a for a in addresses if a in block]
+            if len(members) < 2 or any(a in placed for a in members):
+                continue
+            if _accept(block, members, distances):
+                accepted.append(InferredSubnet(prefix=block,
+                                               members=frozenset(members)))
+                placed.update(members)
+
+    for address in addresses:
+        if address not in placed:
+            accepted.append(InferredSubnet(
+                prefix=Prefix.containing(address, 32),
+                members=frozenset([address]),
+            ))
+    accepted.sort(key=lambda subnet: (subnet.prefix.network, subnet.prefix.length))
+    return accepted
+
+
+def _candidate_blocks(addresses: Iterable[int], length: int) -> List[Prefix]:
+    blocks: List[Prefix] = []
+    seen: Set[int] = set()
+    for address in addresses:
+        block = Prefix.containing(address, length)
+        if block.network not in seen:
+            seen.add(block.network)
+            blocks.append(block)
+    return blocks
+
+
+def _accept(block: Prefix, members: List[int],
+            distances: Dict[int, int]) -> bool:
+    """Hop-consistency (unit subnet diameter) + half-utilization test."""
+    member_distances = [distances[a] for a in members]
+    far = max(member_distances)
+    near = min(member_distances)
+    if far - near > 1:
+        return False
+    if member_distances.count(near) > 1 and near != far:
+        # More than one address on the near side: several candidate ingress
+        # routers — the paper's ingress-fringe signature, reject.
+        return False
+    if block.length >= 31:
+        return True
+    if any(a in block.boundary_addresses() for a in members):
+        return False
+    return len(members) > block.host_capacity // 2
+
+
+def completeness(inferred: List[InferredSubnet],
+                 truth: List[Prefix]) -> float:
+    """Fraction of ground-truth blocks recovered exactly.
+
+    A convenience for the comparison benches; the full evaluation machinery
+    lives in :mod:`repro.evaluation`.
+    """
+    if not truth:
+        return 0.0
+    inferred_blocks = {subnet.prefix for subnet in inferred}
+    return sum(1 for block in truth if block in inferred_blocks) / len(truth)
+
+
+def offline_dataset_from_traces(trace_results,
+                                measured_distances: Optional[Dict[int, int]] = None
+                                ) -> Dict[int, int]:
+    """Build the address->distance input from traceroute results.
+
+    The offline pipeline's defining weakness is visible right here: only
+    addresses that surfaced on a traced path enter the data set.
+    """
+    dataset: Dict[int, int] = {}
+    for result in trace_results:
+        for hop in result.hops:
+            if hop.address is None:
+                continue
+            known = dataset.get(hop.address)
+            if known is None or hop.ttl < known:
+                dataset[hop.address] = hop.ttl
+    if measured_distances:
+        dataset.update(measured_distances)
+    return dataset

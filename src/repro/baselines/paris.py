@@ -1,0 +1,25 @@
+"""Paris traceroute: flow-stable path tracing.
+
+Paris traceroute [4] keeps the header fields per-flow load balancers hash
+constant across a trace, so every probe of a session follows one path and
+the returned hop list is internally consistent.  Here that is simply a
+:class:`~repro.baselines.traceroute.Traceroute` with a pinned flow identity.
+"""
+
+from __future__ import annotations
+
+from ..netsim.engine import Engine
+from ..netsim.packet import Protocol
+from .traceroute import Traceroute
+
+
+class ParisTraceroute(Traceroute):
+    """Traceroute variant immune to per-flow load balancing."""
+
+    def __init__(self, engine: Engine, vantage_host_id: str,
+                 protocol: Protocol = Protocol.ICMP,
+                 max_hops: int = 30,
+                 flow_id: int = 0):
+        super().__init__(engine, vantage_host_id, protocol=protocol,
+                         max_hops=max_hops, vary_flow=False)
+        self.prober.flow_id = flow_id

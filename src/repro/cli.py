@@ -1,0 +1,297 @@
+"""Command-line front end.
+
+Because the live Internet is replaced by the simulator, every invocation
+names a scenario topology to probe:
+
+* ``tracenet trace --scenario figure2 --source A --dest D`` — one session,
+  traceroute-style output with subnet annotations;
+* ``tracenet survey --network internet2`` — the Table 1/2 experiment:
+  trace one target per ground-truth subnet, print the distribution table
+  and similarity rates;
+* ``tracenet crossval`` — the Section 4.2 experiment: three vantages over
+  the four-ISP internet (Figures 6–9);
+* ``tracenet protocols`` — Table 3: ICMP vs UDP vs TCP.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import List, Optional
+
+from .baselines import Traceroute
+from .core import TraceNET
+from .evaluation import (
+    VantageCollection,
+    agreement_rates,
+    annotate_unresponsive,
+    collected_prefixes,
+    match_subnets,
+    prefix_length_histogram,
+    render_distribution_table,
+    render_histogram,
+    render_protocol_table,
+    render_similarity,
+    render_venn,
+    similarity_summary,
+    subnets_per_group,
+    venn_regions,
+)
+from .netsim import Engine, Protocol, format_ip, ip
+from .topogen import build_internet, figures, geant, internet2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``tracenet`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tracenet",
+        description="TraceNET (IMC 2010) reproduction on a network simulator",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    trace = subparsers.add_parser("trace", help="one tracenet session")
+    trace.add_argument("--scenario", choices=("figure2", "figure3"),
+                       default="figure3")
+    trace.add_argument("--source", default=None,
+                       help="vantage host id (default: the scenario's first)")
+    trace.add_argument("--dest", default=None,
+                       help="destination IP (default: a far interface)")
+    trace.add_argument("--protocol", choices=("icmp", "udp", "tcp"),
+                       default="icmp")
+    trace.add_argument("--compare-traceroute", action="store_true",
+                       help="also print the plain traceroute view")
+    trace.add_argument("--json", action="store_true", dest="as_json")
+    trace.set_defaults(handler=cmd_trace)
+
+    survey = subparsers.add_parser(
+        "survey", help="Table 1/2: accuracy over Internet2 or GEANT")
+    survey.add_argument("--network", choices=("internet2", "geant"),
+                        default="internet2")
+    survey.add_argument("--seed", type=int, default=7)
+    survey.set_defaults(handler=cmd_survey)
+
+    crossval = subparsers.add_parser(
+        "crossval", help="Figures 6-9: three vantages over four ISPs")
+    crossval.add_argument("--seed", type=int, default=42)
+    crossval.add_argument("--scale", type=float, default=0.4)
+    crossval.add_argument("--targets-per-isp", type=int, default=60)
+    crossval.set_defaults(handler=cmd_crossval)
+
+    protocols = subparsers.add_parser(
+        "protocols", help="Table 3: ICMP vs UDP vs TCP probing")
+    protocols.add_argument("--seed", type=int, default=42)
+    protocols.add_argument("--scale", type=float, default=0.4)
+    protocols.add_argument("--targets-per-isp", type=int, default=60)
+    protocols.set_defaults(handler=cmd_protocols)
+
+    map_cmd = subparsers.add_parser(
+        "map", help="collect, merge and print a subnet-level topology map")
+    map_cmd.add_argument("--scenario", choices=("figure2", "figure3"),
+                         default="figure2")
+    map_cmd.add_argument("--dot", action="store_true",
+                         help="emit GraphViz instead of the adjacency list")
+    map_cmd.add_argument("--save", default=None, metavar="PATH",
+                         help="also save the per-vantage archives as JSON")
+    map_cmd.set_defaults(handler=cmd_map)
+
+    overhead_cmd = subparsers.add_parser(
+        "overhead", help="Section 3.6: measured probe cost vs the model")
+    overhead_cmd.add_argument("--sizes", default="2,4,6,10,14,22",
+                              help="comma-separated subnet sizes")
+    overhead_cmd.set_defaults(handler=cmd_overhead)
+
+    export_cmd = subparsers.add_parser(
+        "export", help="export a ground-truth scenario (topology + policy) "
+                       "as JSON")
+    export_cmd.add_argument("--network", choices=("internet2", "geant"),
+                            default="internet2")
+    export_cmd.add_argument("--seed", type=int, default=7)
+    export_cmd.add_argument("--out", required=True, metavar="PATH")
+    export_cmd.set_defaults(handler=cmd_export)
+    return parser
+
+
+def cmd_trace(args) -> int:
+    scenario = (figures.figure2_network() if args.scenario == "figure2"
+                else figures.figure3_network())
+    engine = scenario.engine()
+    source = args.source or next(iter(scenario.hosts))
+    if source not in scenario.topology.hosts:
+        print(f"unknown source host {source!r}", file=sys.stderr)
+        return 2
+    destination = _resolve_destination(scenario, source, args.dest)
+    tool = TraceNET(engine, source, protocol=Protocol(args.protocol))
+    result = tool.trace(destination)
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.describe())
+    if args.compare_traceroute:
+        baseline = Traceroute(scenario.engine(), source,
+                              protocol=Protocol(args.protocol))
+        print()
+        print("traceroute view:")
+        for hop in baseline.trace(destination).hops:
+            addr = format_ip(hop.address) if hop.address is not None else "*"
+            print(f"{hop.ttl:3d}  {addr}")
+    return 0
+
+
+def cmd_survey(args) -> int:
+    module = internet2 if args.network == "internet2" else geant
+    network = module.build(seed=args.seed)
+    engine = Engine(network.topology, policy=network.policy)
+    tool = TraceNET(engine, "utdallas")
+    tool.trace_many(module.targets(network, seed=args.seed))
+    report = match_subnets(network.ground_truth,
+                           collected_prefixes(tool.collected_subnets))
+    annotate_unresponsive(report, network.records)
+    title = ("Table 1: Internet2, original and collected subnet distribution"
+             if args.network == "internet2"
+             else "Table 2: GEANT, original and collected subnet distribution")
+    print(render_distribution_table(report, title))
+    print(render_similarity(f"{args.network} (incl. unresponsive)",
+                            *similarity_summary(report)))
+    print(render_similarity(f"{args.network} (excl. unresponsive)",
+                            *similarity_summary(report, exclude_unresponsive=True)))
+    print(f"probes sent: {tool.prober.stats.sent}")
+    return 0
+
+
+def cmd_crossval(args) -> int:
+    internet = build_internet(seed=args.seed, scale=args.scale)
+    targets = internet.targets(seed=args.seed, per_isp=args.targets_per_isp)
+    flat_targets = [t for group in targets.values() for t in group]
+    collections = {}
+    for site in sorted(internet.vantages):
+        engine = Engine(internet.topology, policy=internet.policy)
+        tool = TraceNET(engine, site)
+        tool.trace_many(flat_targets)
+        collections[site] = VantageCollection(
+            vantage=site, subnets=tool.collected_subnets, targets=flat_targets)
+    prefix_sets = {site: c.prefixes for site, c in collections.items()}
+    print(render_venn(venn_regions(prefix_sets), sorted(prefix_sets)))
+    print()
+    for site, rates in agreement_rates(prefix_sets).items():
+        print(f"  {site}: seen-by-all {rates['all']:.0%}, "
+              f"seen-by-another {rates['shared']:.0%}")
+    print()
+    groups = sorted(internet.isps)
+    counts = {site: subnets_per_group(c, internet.isp_of_prefix, groups)
+              for site, c in collections.items()}
+    from .evaluation import render_group_counts
+    print(render_group_counts(counts))
+    print()
+    histograms = {site: prefix_length_histogram(c)
+                  for site, c in collections.items()}
+    print(render_histogram(histograms, log_bars=False))
+    return 0
+
+
+def cmd_protocols(args) -> int:
+    internet = build_internet(seed=args.seed, scale=args.scale)
+    targets = internet.targets(seed=args.seed, per_isp=args.targets_per_isp)
+    counts = {name: {} for name in sorted(internet.isps)}
+    for protocol in (Protocol.ICMP, Protocol.UDP, Protocol.TCP):
+        engine = Engine(internet.topology, policy=internet.policy)
+        tool = TraceNET(engine, "rice", protocol=protocol)
+        for group in targets.values():
+            tool.trace_many(group)
+        for name in counts:
+            counts[name][protocol.value] = sum(
+                1 for s in tool.collected_subnets
+                if s.size >= 2 and internet.isp_of(s.pivot) == name
+            )
+    print(render_protocol_table(counts))
+    return 0
+
+
+def cmd_map(args) -> int:
+    from .mapping import (
+        CollectionArchive,
+        map_from_collections,
+        render_adjacency,
+        save_archive,
+    )
+
+    scenario = (figures.figure2_network() if args.scenario == "figure2"
+                else figures.figure3_network())
+    collections = {}
+    traces = []
+    host_ids = sorted(scenario.hosts)
+    for source in host_ids:
+        tool = TraceNET(scenario.engine(), source)
+        destinations = [scenario.topology.hosts[other].address
+                        for other in host_ids if other != source]
+        if not destinations:
+            # Single-vantage scenario: trace toward every router instead.
+            destinations = sorted(
+                min(router.addresses)
+                for router in scenario.topology.routers.values())
+        for destination in destinations:
+            traces.append(tool.trace(destination))
+        collections[source] = tool.collected_subnets
+    topo_map = map_from_collections(collections, traces)
+    print(topo_map.summary())
+    print()
+    if args.dot:
+        print(topo_map.to_dot(name=args.scenario))
+    else:
+        print(render_adjacency(topo_map))
+    if args.save is not None:
+        for vantage, subnets in collections.items():
+            archive = CollectionArchive(vantage=vantage, subnets=list(subnets),
+                                        metadata={"scenario": args.scenario})
+            path = f"{args.save.rstrip('/')}/{args.scenario}-{vantage}.json"
+            save_archive(path, archive)
+            print(f"saved {path}")
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    from . import experiments
+
+    sizes = tuple(int(part) for part in args.sizes.split(",") if part)
+    outcome = experiments.run_overhead_sweep(sizes=sizes)
+    print(outcome.render())
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .netsim import save_scenario
+
+    module = internet2 if args.network == "internet2" else geant
+    network = module.build(seed=args.seed)
+    save_scenario(args.out, network.topology, network.policy)
+    print(f"exported {args.network} (seed {args.seed}) to {args.out}")
+    print(f"  {network.topology.summary()}")
+    print(f"  {network.policy.describe()}")
+    return 0
+
+
+def _resolve_destination(scenario, source: str, dest: Optional[str]) -> int:
+    """Pick the user's destination, or the farthest interface by default."""
+    if dest is not None:
+        return ip(dest)
+    engine = scenario.engine()
+    addresses = scenario.topology.all_interface_addresses
+    rng = random.Random(0)
+    return max(addresses,
+               key=lambda a: (engine.hop_distance(source, a) or 0,
+                              rng.random()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the tracenet collector.
+
+Exports the :class:`TraceNET` tool plus the building blocks it composes —
+trace collection, subnet positioning (Algorithm 2), subnet exploration
+(Algorithm 1), the H1–H9 heuristics, and the probing-overhead model.
+"""
+
+from . import overhead
+from .collection import HopKind, HopObservation, collect_hop
+from .exploration import explore_subnet, unpositioned_subnet
+from .heuristics import ExplorationState, Judgement, Verdict, evaluate_candidate
+from .positioning import SubnetPosition, position_subnet
+from .results import ObservedSubnet, TraceHop, TraceResult
+from .tracenet import TraceNET
+
+__all__ = [
+    "ExplorationState",
+    "HopKind",
+    "HopObservation",
+    "Judgement",
+    "ObservedSubnet",
+    "SubnetPosition",
+    "TraceHop",
+    "TraceNET",
+    "TraceResult",
+    "Verdict",
+    "collect_hop",
+    "evaluate_candidate",
+    "explore_subnet",
+    "overhead",
+    "position_subnet",
+    "unpositioned_subnet",
+]

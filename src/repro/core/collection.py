@@ -1,0 +1,65 @@
+"""Trace-collection mode: obtaining one IP address per hop.
+
+This is the traceroute-like half of tracenet (Section 3.3): an indirect
+probe toward the destination at each TTL yields either a TTL-Exceeded whose
+source names (one interface of) the router at that hop, a protocol-specific
+alive signal meaning the destination itself answered, or silence — an
+anonymous hop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..probing.prober import Prober
+
+PHASE_TRACE = "trace-collection"
+
+
+class HopKind(enum.Enum):
+    """What the TTL-scoped probe at a hop revealed."""
+
+    ROUTER = "router"
+    DESTINATION = "destination"
+    ANONYMOUS = "anonymous"
+
+
+@dataclass(frozen=True)
+class HopObservation:
+    """The outcome of probing the destination at one TTL."""
+
+    ttl: int
+    kind: HopKind
+    address: Optional[int]
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.kind == HopKind.ANONYMOUS
+
+    @property
+    def reached_destination(self) -> bool:
+        return self.kind == HopKind.DESTINATION
+
+
+def collect_hop(prober: Prober, destination: int, ttl: int,
+                flow_id: Optional[int] = None) -> HopObservation:
+    """Probe ``destination`` with ``ttl`` and classify the answer.
+
+    ``flow_id`` overrides the prober's stable flow identity; classic
+    traceroute passes a fresh value per probe, Paris-style tracing (and
+    tracenet) leaves it None.
+    """
+    response = prober.indirect_probe(destination, ttl, phase=PHASE_TRACE,
+                                     flow_id=flow_id)
+    if response is None:
+        return HopObservation(ttl=ttl, kind=HopKind.ANONYMOUS, address=None)
+    if response.is_alive_signal:
+        return HopObservation(ttl=ttl, kind=HopKind.DESTINATION,
+                              address=response.source)
+    if response.is_ttl_exceeded:
+        return HopObservation(ttl=ttl, kind=HopKind.ROUTER,
+                              address=response.source)
+    # Unreachables and other errors terminate the trace as anonymous hops.
+    return HopObservation(ttl=ttl, kind=HopKind.ANONYMOUS, address=None)

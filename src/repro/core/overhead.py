@@ -1,0 +1,86 @@
+"""Analytic probing-overhead model (paper Section 3.6).
+
+The paper bounds tracenet's per-subnet probe cost:
+
+* **lower bound** — an on-path point-to-point subnet costs 4 probes (one
+  trace-collection probe, one positioning probe, and only H2+H5 per member,
+  with the stop condition hit immediately);
+* **upper bound** — an off-path multi-access LAN with no mate-31 pairs costs
+  ``7·|S| + 7`` probes (initial cost 3, final cost 8, 3 per contra-pivot and
+  7 per other non-pivot member).
+
+The benches compare these bounds against measured
+:class:`~repro.probing.budget.ProbeStats` to validate the implementation's
+probe economy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LOWER_BOUND_P2P = 4
+
+
+def upper_bound(subnet_size: int) -> int:
+    """Worst-case probes to explore a subnet of ``subnet_size`` interfaces."""
+    if subnet_size < 1:
+        raise ValueError("a subnet hosts at least one observable interface")
+    return 7 * subnet_size + 7
+
+
+def lower_bound(subnet_size: int) -> int:
+    """Best-case probes: the on-path point-to-point constant of the paper,
+    generalized with one H2 probe per extra member for larger subnets."""
+    if subnet_size < 1:
+        raise ValueError("a subnet hosts at least one observable interface")
+    if subnet_size <= 2:
+        return LOWER_BOUND_P2P
+    # Initial cost 2 (trace + positioning) plus at least one aliveness
+    # probe per non-pivot member and one stop probe.
+    return 2 + (subnet_size - 1) + 1
+
+
+@dataclass(frozen=True)
+class OverheadEstimate:
+    """Both bounds for one subnet size, plus a midpoint expectation."""
+
+    subnet_size: int
+    lower: int
+    upper: int
+
+    @property
+    def expected(self) -> float:
+        """A coarse midpoint expectation used only for report context."""
+        return (self.lower + self.upper) / 2
+
+    def contains(self, measured: int, slack: float = 1.25) -> bool:
+        """True when a measured probe count is consistent with the model.
+
+        ``slack`` absorbs costs the analytic model excludes by assumption:
+        retries on silence and the boundary addresses probed at each level.
+        """
+        return measured <= self.upper * slack
+
+
+def estimate(subnet_size: int) -> OverheadEstimate:
+    """Bounds for a subnet accommodating ``subnet_size`` interfaces."""
+    return OverheadEstimate(
+        subnet_size=subnet_size,
+        lower=lower_bound(subnet_size),
+        upper=upper_bound(subnet_size),
+    )
+
+
+def worst_case_probability(subnet_size: int) -> float:
+    """Probability bound of the worst-case layout (Section 3.6).
+
+    The upper bound requires an administrator to assign only odd or only
+    even addresses; the paper bounds the chance of meeting such a subnet by
+    ``1 / C(2^ceil(lg(2|S|-1)), |S|)``.
+    """
+    import math
+
+    if subnet_size < 2:
+        return 0.0
+    pool = 2 ** math.ceil(math.log2(2 * subnet_size - 1))
+    return 1.0 / math.comb(pool, subnet_size)

@@ -1,0 +1,189 @@
+"""Result types produced by a tracenet session.
+
+A tracenet run returns a *sequence of subnets* between the vantage point and
+the destination (paper Section 2): each hop carries the IP address obtained
+in trace-collection mode plus, when subnet exploration succeeded, an
+:class:`ObservedSubnet` annotated with its observed prefix, the pivot /
+contra-pivot / ingress roles, and whether it lies on the trace path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..netsim.addressing import Prefix, enclosing_prefix, format_ip
+
+
+@dataclass
+class ObservedSubnet:
+    """A subnet as tracenet saw it.
+
+    ``members`` always contains the pivot.  ``prefix`` is the smallest CIDR
+    block covering the members (the *observable subnet* of Section 4's
+    discussion), after H9 boundary reduction.
+    """
+
+    pivot: int
+    pivot_distance: int
+    members: Set[int] = field(default_factory=set)
+    contra_pivot: Optional[int] = None
+    ingress: Optional[int] = None
+    trace_entry: Optional[int] = None
+    on_trace_path: Optional[bool] = None
+    positioned: bool = True
+    stop_reason: str = ""
+    probes_used: int = 0
+    #: observed prefix length set by exploration (the last valid growth
+    #: level, after H9); None falls back to the members' enclosing block.
+    prefix_length: Optional[int] = None
+    #: the address trace collection obtained (v); equals the pivot unless
+    #: positioning promoted v's mate
+    trace_address: Optional[int] = None
+
+    def __post_init__(self):
+        self.members.add(self.pivot)
+
+    @property
+    def prefix(self) -> Prefix:
+        """The observed subnet block.
+
+        Exploration records the last valid growth level (paper Algorithm 1
+        + H9); results built without one report the smallest block covering
+        the members.
+        """
+        if self.prefix_length is not None:
+            return Prefix.containing(self.pivot, self.prefix_length)
+        block = enclosing_prefix(self.members)
+        assert block is not None  # members is never empty
+        return block
+
+    @property
+    def size(self) -> int:
+        """Number of collected member addresses."""
+        return len(self.members)
+
+    @property
+    def is_point_to_point(self) -> bool:
+        """True when the observed block is a /31 or /30 link."""
+        return self.prefix.length >= 30
+
+    @property
+    def is_subnetized(self) -> bool:
+        """False for lone /32 pivots tracenet failed to grow (Figure 7)."""
+        return len(self.members) > 1
+
+    def contains(self, address: int) -> bool:
+        return address in self.members
+
+    def describe(self) -> str:
+        """One-line rendering used by the CLI and examples."""
+        roles = []
+        if self.contra_pivot is not None:
+            roles.append(f"contra={format_ip(self.contra_pivot)}")
+        if self.ingress is not None:
+            roles.append(f"ingress={format_ip(self.ingress)}")
+        placement = {True: "on-path", False: "off-path", None: "unknown-path"}
+        role_text = (" " + " ".join(roles)) if roles else ""
+        return (
+            f"{self.prefix} [{self.size} ifaces, pivot={format_ip(self.pivot)}"
+            f"{role_text}, {placement[self.on_trace_path]}]"
+        )
+
+
+@dataclass
+class TraceHop:
+    """One hop of the trace: the collected address plus its subnet."""
+
+    ttl: int
+    address: Optional[int]
+    subnet: Optional[ObservedSubnet] = None
+    is_destination: bool = False
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.address is None
+
+    def describe(self) -> str:
+        addr = format_ip(self.address) if self.address is not None else "*"
+        subnet = f"  {self.subnet.describe()}" if self.subnet is not None else ""
+        marker = " <- destination" if self.is_destination else ""
+        return f"{self.ttl:3d}  {addr}{subnet}{marker}"
+
+
+@dataclass
+class TraceResult:
+    """The full outcome of one tracenet (or traceroute) session."""
+
+    vantage_host_id: str
+    destination: int
+    hops: List[TraceHop] = field(default_factory=list)
+    reached: bool = False
+    probes_sent: int = 0
+
+    @property
+    def subnets(self) -> List[ObservedSubnet]:
+        """Observed subnets in path order (deduplicated by the tracer)."""
+        return [hop.subnet for hop in self.hops if hop.subnet is not None]
+
+    @property
+    def addresses(self) -> Set[int]:
+        """Every address the session revealed (trace + exploration)."""
+        collected: Set[int] = set()
+        for hop in self.hops:
+            if hop.address is not None:
+                collected.add(hop.address)
+            if hop.subnet is not None:
+                collected.update(hop.subnet.members)
+        return collected
+
+    @property
+    def path_addresses(self) -> List[Optional[int]]:
+        """The traceroute-equivalent view: one address (or None) per hop."""
+        return [hop.address for hop in self.hops]
+
+    def subnet_for(self, address: int) -> Optional[ObservedSubnet]:
+        """The observed subnet containing ``address``, if any."""
+        for subnet in self.subnets:
+            if subnet.contains(address):
+                return subnet
+        return None
+
+    def describe(self) -> str:
+        """Multi-line rendering (the tool's stdout format)."""
+        status = "reached" if self.reached else "incomplete"
+        lines = [
+            f"tracenet to {format_ip(self.destination)} "
+            f"from {self.vantage_host_id} ({status}, {self.probes_sent} probes)"
+        ]
+        lines.extend(hop.describe() for hop in self.hops)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly serialization (CLI ``--json``)."""
+        return {
+            "vantage": self.vantage_host_id,
+            "destination": format_ip(self.destination),
+            "reached": self.reached,
+            "probes_sent": self.probes_sent,
+            "hops": [
+                {
+                    "ttl": hop.ttl,
+                    "address": format_ip(hop.address) if hop.address is not None else None,
+                    "is_destination": hop.is_destination,
+                    "subnet": None if hop.subnet is None else {
+                        "prefix": str(hop.subnet.prefix),
+                        "members": sorted(format_ip(m) for m in hop.subnet.members),
+                        "pivot": format_ip(hop.subnet.pivot),
+                        "contra_pivot": (format_ip(hop.subnet.contra_pivot)
+                                         if hop.subnet.contra_pivot is not None else None),
+                        "ingress": (format_ip(hop.subnet.ingress)
+                                    if hop.subnet.ingress is not None else None),
+                        "on_trace_path": hop.subnet.on_trace_path,
+                        "probes_used": hop.subnet.probes_used,
+                        "stop_reason": hop.subnet.stop_reason,
+                    },
+                }
+                for hop in self.hops
+            ],
+        }

@@ -1,0 +1,158 @@
+"""The tracenet tool: trace collection + subnet positioning + exploration.
+
+Public entry point of the library.  A :class:`TraceNET` instance is bound to
+one vantage point on one engine; each :meth:`TraceNET.trace` call walks the
+path to a destination hop by hop and, at every hop, grows the subnet
+accommodating the address obtained there — returning the sequence of
+observed subnets of Figure 1(b).
+
+Subnets already collected by earlier traces from the same instance are
+recognized by membership and not re-explored, which is what makes
+survey-scale target sets (Section 4.2's 34 084 addresses) affordable — the
+same economy the authors' implementation gets from merged heuristics and
+response caching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..netsim.engine import Engine
+from ..netsim.packet import Protocol
+from ..probing.budget import ProbeBudget
+from ..probing.prober import Prober
+from .collection import collect_hop
+from .exploration import (
+    DEFAULT_MIN_PREFIX_LENGTH,
+    explore_subnet,
+    unpositioned_subnet,
+)
+from .positioning import position_subnet
+from .results import ObservedSubnet, TraceHop, TraceResult
+
+#: Consecutive anonymous hops after which a trace gives up.
+DEFAULT_ANONYMOUS_GAP_LIMIT = 3
+
+
+class TraceNET:
+    """End-to-end subnet-level topology collector.
+
+    Args:
+        engine: the network (simulator stand-in for raw sockets).
+        vantage_host_id: registered host the probes originate from.
+        protocol: ICMP (default, least affected by load balancing — Section
+            3.7), UDP or TCP.
+        max_hops: trace length cap.
+        min_prefix_length: exploration growth floor (/20 by default).
+        explore: when False, tracenet degrades to plain trace collection —
+            the paper's worst case, "the exact path traceroute would return".
+        budget: optional probe budget shared by all traces of this instance.
+    """
+
+    def __init__(self, engine: Engine, vantage_host_id: str,
+                 protocol: Protocol = Protocol.ICMP,
+                 max_hops: int = 30,
+                 min_prefix_length: int = DEFAULT_MIN_PREFIX_LENGTH,
+                 explore: bool = True,
+                 reuse_subnets: bool = True,
+                 anonymous_gap_limit: int = DEFAULT_ANONYMOUS_GAP_LIMIT,
+                 budget: Optional[ProbeBudget] = None,
+                 disabled_rules: frozenset = frozenset()):
+        self.engine = engine
+        self.vantage_host_id = vantage_host_id
+        self.prober = Prober(engine, vantage_host_id, protocol=protocol,
+                             budget=budget)
+        self.max_hops = max_hops
+        self.min_prefix_length = min_prefix_length
+        self.explore = explore
+        self.reuse_subnets = reuse_subnets
+        self.anonymous_gap_limit = anonymous_gap_limit
+        self.disabled_rules = disabled_rules
+        self._subnets: List[ObservedSubnet] = []
+        self._member_index: Dict[int, ObservedSubnet] = {}
+
+    # -- public API ------------------------------------------------------
+
+    def trace(self, destination: int) -> TraceResult:
+        """Trace toward ``destination``, exploring each visited subnet."""
+        before = self.prober.stats_snapshot()
+        result = TraceResult(vantage_host_id=self.vantage_host_id,
+                             destination=destination)
+        previous_address: Optional[int] = None
+        anonymous_streak = 0
+        seen_addresses = set()
+
+        for ttl in range(1, self.max_hops + 1):
+            observation = collect_hop(self.prober, destination, ttl)
+
+            if observation.is_anonymous:
+                anonymous_streak += 1
+                result.hops.append(TraceHop(ttl=ttl, address=None))
+                previous_address = None
+                if anonymous_streak >= self.anonymous_gap_limit:
+                    break
+                continue
+            anonymous_streak = 0
+
+            address = observation.address
+            assert address is not None
+            hop = TraceHop(ttl=ttl, address=address,
+                           is_destination=observation.reached_destination)
+            if address in seen_addresses and not observation.reached_destination:
+                # Routing loop: record the repeat and stop.
+                result.hops.append(hop)
+                break
+            seen_addresses.add(address)
+
+            if self.explore:
+                hop.subnet = self._subnet_for_hop(previous_address, address, ttl)
+            result.hops.append(hop)
+
+            if observation.reached_destination:
+                result.reached = True
+                break
+            previous_address = address
+
+        result.probes_sent = self.prober.stats.sent - before.sent
+        return result
+
+    def trace_many(self, destinations: Iterable[int]) -> List[TraceResult]:
+        """Trace toward every destination, sharing collected subnets."""
+        return [self.trace(destination) for destination in destinations]
+
+    @property
+    def collected_subnets(self) -> List[ObservedSubnet]:
+        """Every distinct subnet observed by this instance so far."""
+        return list(self._subnets)
+
+    @property
+    def collected_addresses(self) -> set:
+        """Every address placed into some observed subnet."""
+        return set(self._member_index.keys())
+
+    # -- internals ---------------------------------------------------------
+
+    def _subnet_for_hop(self, previous_address: Optional[int], address: int,
+                        ttl: int) -> ObservedSubnet:
+        if self.reuse_subnets:
+            known = self._member_index.get(address)
+            if known is not None:
+                return known
+        position = position_subnet(self.prober, previous_address, address, ttl)
+        if position is None:
+            subnet = unpositioned_subnet(self.prober, address, ttl)
+        else:
+            if self.reuse_subnets and position.pivot != address:
+                known = self._member_index.get(position.pivot)
+                if known is not None:
+                    return known
+            subnet = explore_subnet(self.prober, position,
+                                    min_prefix_length=self.min_prefix_length,
+                                    disabled_rules=self.disabled_rules)
+        self._register(subnet)
+        return subnet
+
+    def _register(self, subnet: ObservedSubnet) -> None:
+        self._subnets.append(subnet)
+        for member in subnet.members:
+            self._member_index.setdefault(member, subnet)

@@ -1,0 +1,159 @@
+"""Multi-vantage cross-validation (paper Section 4.2, Figures 6–8).
+
+Commercial ISP ground truth is proprietary, so the paper validates tracenet
+by agreement: the same target set traced from three PlanetLab sites, then
+the per-vantage collected subnet sets are intersected.  This module computes
+the Venn regions of Figure 6, the per-vantage agreement rates the paper
+quotes (~60% seen by all three, ~80% seen by at least one other), and the
+target / subnetized / un-subnetized IP accounting of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..core.results import ObservedSubnet
+from ..netsim.addressing import Prefix
+
+
+@dataclass
+class VantageCollection:
+    """Everything one vantage point collected over the common target set."""
+
+    vantage: str
+    subnets: List[ObservedSubnet] = field(default_factory=list)
+    targets: List[int] = field(default_factory=list)
+
+    @property
+    def prefixes(self) -> Set[Prefix]:
+        """Distinct multi-member subnet blocks this vantage observed."""
+        return {s.prefix for s in self.subnets if s.size >= 2}
+
+    @property
+    def subnetized_addresses(self) -> Set[int]:
+        """Addresses placed into a subnet larger than /32."""
+        placed: Set[int] = set()
+        for subnet in self.subnets:
+            if subnet.size >= 2:
+                placed.update(subnet.members)
+        return placed
+
+    @property
+    def unsubnetized_addresses(self) -> Set[int]:
+        """Addresses found alive but never placed into a subnet (Figure 7)."""
+        placed = self.subnetized_addresses
+        return {
+            s.pivot for s in self.subnets if s.size == 1 and s.pivot not in placed
+        }
+
+
+def venn_regions(collections: Dict[str, Set[Prefix]]
+                 ) -> Dict[FrozenSet[str], int]:
+    """Exclusive Venn region sizes over per-vantage subnet sets (Figure 6).
+
+    Keys are frozensets of vantage names; the value counts subnets observed
+    by *exactly* that set of vantages.
+    """
+    names = sorted(collections)
+    regions: Dict[FrozenSet[str], int] = {}
+    universe: Set[Prefix] = set()
+    for subnet_set in collections.values():
+        universe |= subnet_set
+    for block in universe:
+        observers = frozenset(n for n in names if block in collections[n])
+        regions[observers] = regions.get(observers, 0) + 1
+    return regions
+
+
+def agreement_rates(collections: Dict[str, Set[Prefix]]) -> Dict[str, Dict[str, float]]:
+    """Per-vantage agreement fractions the paper quotes.
+
+    For each vantage: ``all`` — the fraction of its subnets seen by every
+    other vantage (~60% in the paper); ``shared`` — the fraction seen by at
+    least one other (~80%).
+    """
+    names = sorted(collections)
+    rates: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        own = collections[name]
+        if not own:
+            rates[name] = {"all": 0.0, "shared": 0.0}
+            continue
+        others = [collections[other] for other in names if other != name]
+        seen_by_all = sum(1 for block in own
+                          if all(block in other for other in others))
+        seen_by_any = sum(1 for block in own
+                          if any(block in other for other in others))
+        rates[name] = {
+            "all": seen_by_all / len(own),
+            "shared": seen_by_any / len(own),
+        }
+    return rates
+
+
+def pairwise_overlap(collections: Dict[str, Set[Prefix]]
+                     ) -> Dict[FrozenSet[str], int]:
+    """|A ∩ B| for every vantage pair (inclusive, unlike venn_regions)."""
+    overlap: Dict[FrozenSet[str], int] = {}
+    for a, b in combinations(sorted(collections), 2):
+        overlap[frozenset((a, b))] = len(collections[a] & collections[b])
+    return overlap
+
+
+@dataclass
+class IPAccounting:
+    """One Figure 7 bar group: target / subnetized / un-subnetized."""
+
+    vantage: str
+    group: str
+    targets: int
+    subnetized: int
+    unsubnetized: int
+
+
+def ip_accounting(collection: VantageCollection,
+                  group_of: Callable[[int], Optional[str]],
+                  groups: Iterable[str]) -> List[IPAccounting]:
+    """Figure 7 accounting, grouped (per ISP in the paper).
+
+    ``group_of`` maps an address to its group (e.g.
+    :meth:`~repro.topogen.isp.MultiISPNetwork.isp_of`); addresses mapping to
+    None (transit space) are excluded.
+    """
+    rows: List[IPAccounting] = []
+    subnetized = collection.subnetized_addresses
+    unsubnetized = collection.unsubnetized_addresses
+    for group in groups:
+        rows.append(IPAccounting(
+            vantage=collection.vantage,
+            group=group,
+            targets=sum(1 for a in collection.targets if group_of(a) == group),
+            subnetized=sum(1 for a in subnetized if group_of(a) == group),
+            unsubnetized=sum(1 for a in unsubnetized if group_of(a) == group),
+        ))
+    return rows
+
+
+def subnets_per_group(collection: VantageCollection,
+                      group_of: Callable[[Prefix], Optional[str]],
+                      groups: Iterable[str]) -> Dict[str, int]:
+    """Figure 8: distinct subnet count per group for one vantage."""
+    counts = {group: 0 for group in groups}
+    for block in collection.prefixes:
+        group = group_of(block)
+        if group in counts:
+            counts[group] += 1
+    return counts
+
+
+def prefix_length_histogram(collection: VantageCollection,
+                            lengths: Iterable[int] = range(20, 32)
+                            ) -> Dict[int, int]:
+    """Figure 9: subnet frequency by prefix length for one vantage."""
+    histogram = {length: 0 for length in lengths}
+    for block in collection.prefixes:
+        if block.length in histogram:
+            histogram[block.length] += 1
+    return histogram

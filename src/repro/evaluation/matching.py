@@ -1,0 +1,189 @@
+"""Classify collected subnets against ground truth (Tables 1 and 2).
+
+The paper buckets every *original* subnet into: exactly matched (``exmt``),
+missing (``miss``), underestimated (``undes``), overestimated (``ovres``),
+split (``splt``) or merged (``merg``) — and splits the missing and
+underestimated rows by whether unresponsiveness (firewalls, silent
+interfaces), rather than tracenet, caused the degradation (``\\unrs``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..netsim.addressing import Prefix
+from ..topogen.spec import SubnetRecord
+
+
+class Category(enum.Enum):
+    """The paper's per-original-subnet outcome buckets."""
+
+    EXACT = "exmt"
+    MISS = "miss"
+    UNDER = "undes"
+    OVER = "ovres"
+    SPLIT = "splt"
+    MERGED = "merg"
+
+
+@dataclass
+class OriginalOutcome:
+    """How one ground-truth subnet fared."""
+
+    original: Prefix
+    category: Category
+    collected: List[Prefix] = field(default_factory=list)
+    #: set by annotate_unresponsive: degradation caused by response policy
+    unresponsive: bool = False
+
+    @property
+    def best_collected(self) -> Optional[Prefix]:
+        """The collected block the distance functions compare against."""
+        if not self.collected:
+            return None
+        if self.category == Category.SPLIT:
+            # Equation (1) uses max{s^c_i} for split subnets.
+            return max(self.collected, key=lambda p: p.length)
+        if self.category in (Category.OVER, Category.MERGED):
+            return min(self.collected, key=lambda p: p.length)
+        return self.collected[0]
+
+
+@dataclass
+class MatchReport:
+    """Outcome of matching one collected topology against ground truth."""
+
+    outcomes: List[OriginalOutcome]
+    extras: List[Prefix] = field(default_factory=list)
+
+    def by_category(self, category: Category,
+                    unresponsive: Optional[bool] = None
+                    ) -> List[OriginalOutcome]:
+        return [
+            outcome for outcome in self.outcomes
+            if outcome.category == category
+            and (unresponsive is None or outcome.unresponsive == unresponsive)
+        ]
+
+    def count(self, category: Category,
+              unresponsive: Optional[bool] = None) -> int:
+        return len(self.by_category(category, unresponsive))
+
+    def exact_match_rate(self, exclude_unresponsive: bool = False) -> float:
+        """The paper's headline metric.
+
+        ``exclude_unresponsive=False`` gives the "including unresponsive
+        subnets" rate (73.7% / 53.5%); True excludes both totally and
+        partially unresponsive subnets (94.9% / 97.3%).
+        """
+        exact = self.count(Category.EXACT)
+        total = len(self.outcomes)
+        if exclude_unresponsive:
+            total -= sum(1 for outcome in self.outcomes if outcome.unresponsive)
+        if total <= 0:
+            return 0.0
+        return exact / total
+
+    def distribution_rows(self) -> Dict[str, Dict[int, int]]:
+        """The rows of Tables 1–2: row name -> {prefix length: count}."""
+        lengths = sorted({outcome.original.length for outcome in self.outcomes})
+        rows: Dict[str, Dict[int, int]] = {
+            name: {length: 0 for length in lengths}
+            for name in ("orgl", "exmt", "miss", "miss\\unrs",
+                         "undes", "undes\\unrs", "ovres", "splt", "merg")
+        }
+        for outcome in self.outcomes:
+            length = outcome.original.length
+            rows["orgl"][length] += 1
+            if outcome.category == Category.EXACT:
+                rows["exmt"][length] += 1
+            elif outcome.category == Category.MISS:
+                key = "miss\\unrs" if outcome.unresponsive else "miss"
+                rows[key][length] += 1
+            elif outcome.category == Category.UNDER:
+                key = "undes\\unrs" if outcome.unresponsive else "undes"
+                rows[key][length] += 1
+            elif outcome.category == Category.OVER:
+                rows["ovres"][length] += 1
+            elif outcome.category == Category.SPLIT:
+                rows["splt"][length] += 1
+            elif outcome.category == Category.MERGED:
+                rows["merg"][length] += 1
+        return rows
+
+
+def match_subnets(original: Sequence[Prefix],
+                  collected: Iterable[Prefix]) -> MatchReport:
+    """Match collected blocks to ground-truth blocks.
+
+    Collected /32 singletons are ignored — they are un-subnetized addresses
+    (Figure 7), not subnets.
+    """
+    collected_blocks = sorted(
+        {block for block in collected if block.length < 32},
+        key=lambda p: (p.network, p.length),
+    )
+    exact_set = set(collected_blocks)
+
+    overlaps: Dict[Prefix, List[Prefix]] = {o: [] for o in original}
+    covered_by: Dict[Prefix, List[Prefix]] = {c: [] for c in collected_blocks}
+    for block in collected_blocks:
+        for o in original:
+            if block.overlaps(o):
+                overlaps[o].append(block)
+                covered_by[block].append(o)
+
+    outcomes: List[OriginalOutcome] = []
+    for o in original:
+        blocks = overlaps[o]
+        if not blocks:
+            outcomes.append(OriginalOutcome(o, Category.MISS))
+        elif o in exact_set:
+            outcomes.append(OriginalOutcome(o, Category.EXACT, [o]))
+        else:
+            containing = [c for c in blocks if c.length < o.length]
+            if containing:
+                widest = min(containing, key=lambda p: p.length)
+                # Originals whose only coverage is this over-wide block:
+                # two or more of them were merged; a lone one was merely
+                # overestimated (the paper's Sab rule).
+                sole = [
+                    other for other in covered_by[widest]
+                    if other not in exact_set
+                    and all(c.length < other.length for c in overlaps[other])
+                ]
+                category = Category.MERGED if len(sole) >= 2 else Category.OVER
+                outcomes.append(OriginalOutcome(o, category, containing))
+            else:
+                inside = [c for c in blocks if c.length > o.length]
+                category = Category.UNDER if len(inside) == 1 else Category.SPLIT
+                outcomes.append(OriginalOutcome(o, category, inside))
+
+    extras = [c for c in collected_blocks if not covered_by[c]]
+    return MatchReport(outcomes=outcomes, extras=extras)
+
+
+def annotate_unresponsive(report: MatchReport,
+                          records: Iterable[SubnetRecord]) -> MatchReport:
+    """Mark outcomes degraded by the response policy (the ``\\unrs`` split).
+
+    The authors produced this split by re-probing every address of the
+    missed/underestimated subnets; we read it off the ground truth instead:
+    a firewalled subnet is totally unresponsive, a subnet with silenced
+    interfaces partially so.
+    """
+    by_prefix = {record.prefix: record for record in records}
+    for outcome in report.outcomes:
+        record = by_prefix.get(outcome.original)
+        if record is None:
+            continue
+        if outcome.category in (Category.MISS, Category.UNDER):
+            outcome.unresponsive = record.unresponsive
+    return report
+
+
+def collected_prefixes(subnets, minimum_size: int = 2) -> List[Prefix]:
+    """Extract comparable blocks from ObservedSubnet results."""
+    return [subnet.prefix for subnet in subnets if subnet.size >= minimum_size]

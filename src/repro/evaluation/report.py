@@ -1,0 +1,141 @@
+"""ASCII renderers that print the paper's tables and figures.
+
+Every bench regenerates its artifact through one of these so the output can
+be compared row by row against the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, List, Mapping, Sequence
+
+from .crossval import IPAccounting
+from .matching import MatchReport
+
+ROW_ORDER = ("orgl", "exmt", "miss", "miss\\unrs", "undes", "undes\\unrs",
+             "ovres", "splt", "merg")
+
+
+def render_distribution_table(report: MatchReport, title: str) -> str:
+    """Tables 1–2: original vs collected subnet distribution."""
+    rows = report.distribution_rows()
+    lengths = sorted(rows["orgl"])
+    table: List[List[str]] = [
+        [""] + [f"/{length}" for length in lengths] + ["total"]
+    ]
+    for name in ROW_ORDER:
+        cells = [name] + [str(rows[name][length]) for length in lengths]
+        cells.append(str(sum(rows[name].values())))
+        table.append(cells)
+    lines = [title]
+    lines.extend(_render_rows(table))
+    lines.append("")
+    lines.append(
+        f"exact match rate (incl. unresponsive): "
+        f"{report.exact_match_rate():.1%}"
+    )
+    lines.append(
+        f"exact match rate (excl. unresponsive): "
+        f"{report.exact_match_rate(exclude_unresponsive=True):.1%}"
+    )
+    return "\n".join(lines)
+
+
+def render_protocol_table(counts: Mapping[str, Mapping[str, int]],
+                          protocols: Sequence[str] = ("icmp", "udp", "tcp"),
+                          title: str = "Table 3: subnets per probing protocol"
+                          ) -> str:
+    """Table 3: subnets collected per ISP under each probing protocol."""
+    table: List[List[str]] = [[""] + [p.upper() for p in protocols]]
+    totals = {protocol: 0 for protocol in protocols}
+    for group in counts:
+        row = [group]
+        for protocol in protocols:
+            value = counts[group].get(protocol, 0)
+            totals[protocol] += value
+            row.append(str(value))
+        table.append(row)
+    table.append(["Total"] + [str(totals[p]) for p in protocols])
+    return "\n".join([title] + _render_rows(table))
+
+
+def render_venn(regions: Mapping[FrozenSet[str], int],
+                names: Sequence[str],
+                title: str = "Figure 6: exact-match subnets per vantage set"
+                ) -> str:
+    """Figure 6: exclusive Venn region counts."""
+    lines = [title]
+    ordered = sorted(regions.items(), key=lambda kv: (len(kv[0]), sorted(kv[0])))
+    for observers, count in ordered:
+        label = " & ".join(sorted(observers)) if observers else "(none)"
+        lines.append(f"  {label:<28} {count}")
+    return "\n".join(lines)
+
+
+def render_ip_accounting(rows: Iterable[IPAccounting],
+                         title: str = "Figure 7: IP address accounting"
+                         ) -> str:
+    """Figure 7: target / subnetized / un-subnetized bars as a table."""
+    table: List[List[str]] = [["vantage", "group", "target",
+                               "subnetized", "un-subnetized"]]
+    for row in rows:
+        table.append([row.vantage, row.group, str(row.targets),
+                      str(row.subnetized), str(row.unsubnetized)])
+    return "\n".join([title] + _render_rows(table))
+
+
+def render_group_counts(counts: Mapping[str, Mapping[str, int]],
+                        title: str = "Figure 8: subnets per ISP per vantage"
+                        ) -> str:
+    """Figure 8: subnet frequency per group (columns) per vantage (rows)."""
+    groups: List[str] = sorted({g for per in counts.values() for g in per})
+    table: List[List[str]] = [["vantage"] + groups]
+    for vantage in sorted(counts):
+        table.append([vantage] + [str(counts[vantage].get(g, 0))
+                                  for g in groups])
+    return "\n".join([title] + _render_rows(table))
+
+
+def render_histogram(histograms: Mapping[str, Mapping[int, int]],
+                     title: str = "Figure 9: subnet prefix length distribution",
+                     log_bars: bool = True) -> str:
+    """Figure 9: per-vantage prefix-length frequencies with log-scale bars."""
+    lengths = sorted({length for h in histograms.values() for length in h})
+    table: List[List[str]] = [["prefix"] + sorted(histograms)]
+    for length in lengths:
+        row = [f"/{length}"]
+        for vantage in sorted(histograms):
+            row.append(str(histograms[vantage].get(length, 0)))
+        table.append(row)
+    lines = [title] + _render_rows(table)
+    if log_bars:
+        lines.append("")
+        for vantage in sorted(histograms):
+            lines.append(f"  {vantage}:")
+            for length in lengths:
+                count = histograms[vantage].get(length, 0)
+                bar = "#" * int(round(4 * math.log10(count))) if count else ""
+                lines.append(f"    /{length:<3} {count:>6} {bar}")
+    return "\n".join(lines)
+
+
+def render_similarity(name: str, prefix_sim: float, size_sim: float) -> str:
+    """Section 4.1.2's similarity summary lines."""
+    return (f"{name}: prefix-length similarity {prefix_sim:.3f}, "
+            f"subnet-size similarity {size_sim:.3f}")
+
+
+def _render_rows(rows: Sequence[Sequence[str]]) -> List[str]:
+    """Align rows column-wise: first column left, the rest right."""
+    columns = max(len(row) for row in rows)
+    widths = [
+        max((len(row[i]) for row in rows if i < len(row)), default=0)
+        for i in range(columns)
+    ]
+    lines = []
+    for row in rows:
+        cells = [row[0].ljust(widths[0])]
+        cells.extend(cell.rjust(widths[i + 1] + 2)
+                     for i, cell in enumerate(row[1:]))
+        lines.append("".join(cells).rstrip())
+    return lines

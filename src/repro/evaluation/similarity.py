@@ -1,0 +1,144 @@
+"""Topology similarity in euclidean space (paper Section 4.1.2, eqs. 1–5).
+
+Each ground-truth subnet is a dimension; its value is the subnet's prefix
+length (equations 1–3) or its size ``2^(32-p)`` (equations 4–5).  A
+category-aware distance factor measures how far the collected topology
+deviates along each dimension, and the normalized Minkowski distance of
+order 1 becomes a similarity in [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .matching import Category, MatchReport, OriginalOutcome
+
+
+@dataclass(frozen=True)
+class PrefixBounds:
+    """pu / pl: the extreme prefix values found in either topology."""
+
+    upper: int  # pu — numerically largest prefix length (smallest subnet)
+    lower: int  # pl — numerically smallest prefix length (largest subnet)
+
+
+def prefix_bounds(report: MatchReport) -> PrefixBounds:
+    """Bounds over the original and collected prefix values (paper: "upper
+    and lower prefix values found in the original or collected topology")."""
+    values = [outcome.original.length for outcome in report.outcomes]
+    for outcome in report.outcomes:
+        values.extend(block.length for block in outcome.collected)
+    values.extend(block.length for block in report.extras)
+    return PrefixBounds(upper=max(values), lower=min(values))
+
+
+# -- equation (1): prefix distance factor -------------------------------------
+
+
+def prefix_distance_factor(outcome: OriginalOutcome,
+                           bounds: PrefixBounds) -> int:
+    """d(S_i) of equation (1)."""
+    so = outcome.original.length
+    if outcome.category == Category.EXACT:
+        return 0
+    if outcome.category == Category.MISS:
+        return max(abs(so - bounds.upper), abs(so - bounds.lower))
+    sc = outcome.best_collected
+    if sc is None:
+        return max(abs(so - bounds.upper), abs(so - bounds.lower))
+    return abs(so - sc.length)
+
+
+# -- equation (4): size distance factor ---------------------------------------
+
+
+def _size(prefix_length: int) -> int:
+    return 1 << (32 - prefix_length)
+
+
+def size_distance_factor(outcome: OriginalOutcome,
+                         bounds: PrefixBounds) -> int:
+    """d̂(S_i) of equation (4)."""
+    so = outcome.original.length
+    if outcome.category == Category.EXACT:
+        return 0
+    if outcome.category == Category.MISS:
+        return max(_size(bounds.lower) - _size(so), _size(so) - _size(bounds.upper))
+    sc = outcome.best_collected
+    if sc is None:
+        return max(_size(bounds.lower) - _size(so), _size(so) - _size(bounds.upper))
+    if outcome.category == Category.SPLIT:
+        # Equation (4) compares against the *largest* collected piece.
+        largest = min(outcome.collected, key=lambda p: p.length)
+        return abs(_size(so) - _size(largest.length))
+    return abs(_size(so) - _size(sc.length))
+
+
+# -- equation (2): Minkowski distance ------------------------------------------
+
+
+def minkowski_distance(distances: Sequence[float], order: int = 1) -> float:
+    """Equation (2): the Minkowski distance of order k over the factors."""
+    if order < 1:
+        raise ValueError("Minkowski order must be >= 1")
+    return sum(d ** order for d in distances) ** (1.0 / order)
+
+
+# -- equations (3) and (5): normalized similarities ------------------------------
+
+
+def prefix_similarity(report: MatchReport,
+                      bounds: Optional[PrefixBounds] = None) -> float:
+    """Equation (3): 1 − Σd(Si) / Σ max(so−pl, pu−so)."""
+    if not report.outcomes:
+        return 1.0
+    if bounds is None:
+        bounds = prefix_bounds(report)
+    numerator = sum(prefix_distance_factor(o, bounds) for o in report.outcomes)
+    denominator = sum(
+        max(o.original.length - bounds.lower, bounds.upper - o.original.length)
+        for o in report.outcomes
+    )
+    if denominator == 0:
+        return 1.0 if numerator == 0 else 0.0
+    return 1.0 - numerator / denominator
+
+
+def size_similarity(report: MatchReport,
+                    bounds: Optional[PrefixBounds] = None) -> float:
+    """Equation (5): the size-weighted analogue of equation (3)."""
+    if not report.outcomes:
+        return 1.0
+    if bounds is None:
+        bounds = prefix_bounds(report)
+    numerator = sum(size_distance_factor(o, bounds) for o in report.outcomes)
+    denominator = sum(
+        max(_size(bounds.lower) - _size(o.original.length),
+            _size(o.original.length) - _size(bounds.upper))
+        for o in report.outcomes
+    )
+    if denominator == 0:
+        return 1.0 if numerator == 0 else 0.0
+    return 1.0 - numerator / denominator
+
+
+def similarity_summary(report: MatchReport,
+                       exclude_unresponsive: bool = False
+                       ) -> Tuple[float, float]:
+    """(prefix similarity, size similarity) — the paper's §4.1.2 numbers.
+
+    ``exclude_unresponsive=True`` restricts the feature space to subnets
+    the response policy left observable.  We report both variants: with a
+    large unresponsive population (GEANT: 45% of subnets) the inclusive
+    similarity is dominated by misses no collector could avoid.
+    """
+    if exclude_unresponsive:
+        report = MatchReport(
+            outcomes=[o for o in report.outcomes if not o.unresponsive],
+            extras=list(report.extras),
+        )
+    if not report.outcomes:
+        return (1.0, 1.0)
+    bounds = prefix_bounds(report)
+    return (prefix_similarity(report, bounds), size_similarity(report, bounds))

@@ -1,0 +1,184 @@
+"""The subnet-level topology map as a graph.
+
+This is the artifact the paper's introduction motivates: a map that knows
+*which addresses share a LAN* so applications (resilient overlays, path
+analysis, debugging) can reason about links instead of address lists.
+
+Nodes are merged subnets; an edge connects two subnets when some router
+demonstrably sits on both.  The evidence comes from the collection itself:
+
+* consecutive trace hops — the hop-(i+1) router has one interface in the
+  hop-i subnet (it sourced the incoming-interface reply) and one in its
+  own subnet;
+* the ingress relation — an observed subnet's ingress interface lies in
+  the upstream subnet, and its contra-pivot lies in the subnet itself;
+  both belong to the ingress router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.results import TraceResult
+from ..netsim.addressing import Prefix
+from .merge import MergedSubnet
+
+
+@dataclass
+class TopologyMap:
+    """A queryable subnet-level map built from collected data."""
+
+    subnets: List[MergedSubnet] = field(default_factory=list)
+    _edges: Set[FrozenSet[Prefix]] = field(default_factory=set)
+    _by_network: Dict[int, MergedSubnet] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, merged: Sequence[MergedSubnet],
+              traces: Iterable[TraceResult] = ()) -> "TopologyMap":
+        """Assemble the map from merged subnets plus trace evidence."""
+        topology_map = cls(subnets=list(merged))
+        for subnet in merged:
+            topology_map._by_network[subnet.prefix.network] = subnet
+        for trace in traces:
+            topology_map._add_trace_edges(trace)
+        return topology_map
+
+    def _add_trace_edges(self, trace: TraceResult) -> None:
+        previous: Optional[MergedSubnet] = None
+        for hop in trace.hops:
+            if hop.address is None:
+                previous = None
+                continue
+            current = self.subnet_of(hop.address)
+            if current is None:
+                previous = None
+                continue
+            if previous is not None and previous.prefix != current.prefix:
+                self._edges.add(frozenset((previous.prefix, current.prefix)))
+            previous = current
+
+    def add_edge(self, a: Prefix, b: Prefix) -> None:
+        """Record that one router connects subnets ``a`` and ``b``."""
+        if a != b:
+            self._edges.add(frozenset((a, b)))
+
+    # -- lookups --------------------------------------------------------------
+
+    def subnet_of(self, address: int) -> Optional[MergedSubnet]:
+        """The merged subnet containing ``address``, by membership."""
+        for subnet in self.subnets:
+            if address in subnet.members:
+                return subnet
+        for subnet in self.subnets:
+            if address in subnet.prefix:
+                return subnet
+        return None
+
+    @property
+    def edges(self) -> List[Tuple[Prefix, Prefix]]:
+        ordered = []
+        for pair in self._edges:
+            a, b = sorted(pair, key=lambda p: (p.network, p.length))
+            ordered.append((a, b))
+        ordered.sort(key=lambda pair: (pair[0].network, pair[1].network))
+        return ordered
+
+    def neighbors(self, prefix: Prefix) -> List[Prefix]:
+        found = []
+        for pair in self._edges:
+            if prefix in pair:
+                other = next(iter(pair - {prefix}))
+                found.append(other)
+        return sorted(found, key=lambda p: (p.network, p.length))
+
+    def degree(self, prefix: Prefix) -> int:
+        return len(self.neighbors(prefix))
+
+    # -- path analysis (the Figure 2 application) -------------------------------
+
+    def subnets_on_path(self, addresses: Sequence[int]) -> List[MergedSubnet]:
+        """The merged subnets a hop-address path crosses, in order."""
+        crossed: List[MergedSubnet] = []
+        for address in addresses:
+            subnet = self.subnet_of(address)
+            if subnet is not None and (not crossed
+                                       or crossed[-1].prefix != subnet.prefix):
+                crossed.append(subnet)
+        return crossed
+
+    def shared_subnets(self, path_a: Sequence[int], path_b: Sequence[int]
+                       ) -> List[MergedSubnet]:
+        """Subnets two hop-address paths have in common."""
+        blocks_a = {s.prefix for s in self.subnets_on_path(path_a)}
+        return [s for s in self.subnets_on_path(path_b)
+                if s.prefix in blocks_a]
+
+    def link_disjoint(self, path_a: Sequence[int], path_b: Sequence[int]
+                      ) -> bool:
+        """True when the two paths share no subnet (no common link)."""
+        return not self.shared_subnets(path_a, path_b)
+
+    # -- exports -------------------------------------------------------------------
+
+    def to_dot(self, name: str = "tracenet_map") -> str:
+        """GraphViz rendering: subnets as boxes, shared routers as edges."""
+        lines = [f'graph "{name}" {{', "  node [shape=box];"]
+        for subnet in sorted(self.subnets,
+                             key=lambda s: (s.prefix.network, s.prefix.length)):
+            label = f"{subnet.prefix}\\n{len(subnet.members)} ifaces"
+            lines.append(f'  "{subnet.prefix}" [label="{label}"];')
+        for a, b in self.edges:
+            lines.append(f'  "{a}" -- "{b}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_edge_list(self) -> List[str]:
+        """Plain-text edge list (one ``prefix prefix`` pair per line)."""
+        return [f"{a} {b}" for a, b in self.edges]
+
+    def summary(self) -> str:
+        placed = sum(len(s.members) for s in self.subnets)
+        return (f"topology map: {len(self.subnets)} subnets, "
+                f"{len(self._edges)} links, {placed} addresses")
+
+    def describe(self, limit: int = 20) -> str:
+        lines = [self.summary()]
+        for subnet in self.subnets[:limit]:
+            neighbor_text = ", ".join(str(n) for n in
+                                      self.neighbors(subnet.prefix)) or "-"
+            lines.append(f"  {subnet.describe()} <-> {neighbor_text}")
+        if len(self.subnets) > limit:
+            lines.append(f"  ... and {len(self.subnets) - limit} more")
+        return "\n".join(lines)
+
+
+def map_from_collections(collections, traces: Iterable[TraceResult] = (),
+                         minimum_size: int = 2) -> TopologyMap:
+    """One-call construction: merge per-vantage collections, then graph."""
+    from .merge import merge_collections
+
+    merged = merge_collections(collections, minimum_size=minimum_size)
+    return TopologyMap.build(merged, traces)
+
+
+def annotate_same_lan(topology_map: TopologyMap, addresses: Sequence[int]
+                      ) -> Dict[int, Optional[str]]:
+    """The "being on the same LAN" annotation for a set of addresses."""
+    return {
+        address: (str(subnet.prefix) if subnet is not None else None)
+        for address in addresses
+        for subnet in [topology_map.subnet_of(address)]
+    }
+
+
+def render_adjacency(topology_map: TopologyMap) -> str:
+    """Human-readable adjacency listing."""
+    lines = []
+    for subnet in topology_map.subnets:
+        neighbors = topology_map.neighbors(subnet.prefix)
+        lines.append(f"{subnet.prefix} ({len(subnet.members)} ifaces): "
+                     + (", ".join(map(str, neighbors)) or "(no links seen)"))
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Merging subnet collections from several vantage points.
+
+Section 4.2 observes that "some subnets are inferred to be larger when
+collected from another vantage point" — rate limiting and path position
+make per-vantage views uneven.  Merging turns the per-vantage collections
+into one best-effort subnet map:
+
+* observations whose blocks overlap describe the same physical subnet;
+* the merged block is the one most vantages agree on, ties broken toward
+  the more complete (shorter-prefix) observation;
+* members are unioned over the observations that fit the merged block.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..core.results import ObservedSubnet
+from ..netsim.addressing import Prefix
+
+
+@dataclass
+class MergedSubnet:
+    """One subnet of the merged map."""
+
+    prefix: Prefix
+    members: Set[int] = field(default_factory=set)
+    observers: Set[str] = field(default_factory=set)
+    observation_count: int = 0
+
+    @property
+    def confirmation(self) -> int:
+        """How many vantage points saw this subnet (Figure 6's currency)."""
+        return len(self.observers)
+
+    def describe(self) -> str:
+        return (f"{self.prefix} [{len(self.members)} ifaces, "
+                f"seen by {sorted(self.observers)}]")
+
+
+def merge_collections(collections: Dict[str, Sequence[ObservedSubnet]],
+                      minimum_size: int = 2) -> List[MergedSubnet]:
+    """Merge per-vantage observed subnets into one map.
+
+    Args:
+        collections: vantage name -> its observed subnets.
+        minimum_size: ignore observations smaller than this (the /32
+            un-subnetized pivots by default).
+
+    Returns:
+        Merged subnets sorted by network address.  Their blocks never
+        overlap: overlapping observations are clustered and resolved.
+    """
+    observations: List[Tuple[str, ObservedSubnet]] = [
+        (vantage, subnet)
+        for vantage, subnets in collections.items()
+        for subnet in subnets
+        if subnet.size >= minimum_size
+    ]
+    clusters = _cluster_by_overlap(observations)
+    merged = [_resolve(cluster) for cluster in clusters]
+    merged.sort(key=lambda subnet: subnet.prefix.network)
+    return merged
+
+
+def coverage(merged: Iterable[MergedSubnet]) -> Set[int]:
+    """Every address placed in the merged map."""
+    placed: Set[int] = set()
+    for subnet in merged:
+        placed.update(subnet.members)
+    return placed
+
+
+def confirmed(merged: Iterable[MergedSubnet], minimum_observers: int = 2
+              ) -> List[MergedSubnet]:
+    """Subnets corroborated by at least ``minimum_observers`` vantages."""
+    return [subnet for subnet in merged
+            if subnet.confirmation >= minimum_observers]
+
+
+# -- internals ----------------------------------------------------------------
+
+
+def _cluster_by_overlap(observations: List[Tuple[str, ObservedSubnet]]
+                        ) -> List[List[Tuple[str, ObservedSubnet]]]:
+    """Group observations whose blocks overlap (transitively)."""
+    ordered = sorted(observations,
+                     key=lambda item: (item[1].prefix.network,
+                                       item[1].prefix.length))
+    clusters: List[List[Tuple[str, ObservedSubnet]]] = []
+    cluster_end = -1
+    for vantage, subnet in ordered:
+        block = subnet.prefix
+        if clusters and block.network <= cluster_end:
+            clusters[-1].append((vantage, subnet))
+            cluster_end = max(cluster_end, block.broadcast)
+        else:
+            clusters.append([(vantage, subnet)])
+            cluster_end = block.broadcast
+    return clusters
+
+
+def _resolve(cluster: List[Tuple[str, ObservedSubnet]]) -> MergedSubnet:
+    """Pick the consensus block for one overlap cluster and union members."""
+    votes = Counter(subnet.prefix for _, subnet in cluster)
+    best_count = max(votes.values())
+    candidates = [block for block, count in votes.items()
+                  if count == best_count]
+    # Ties break toward the more complete (shorter prefix) observation —
+    # the paper's "inferred larger from another vantage point" case.
+    block = min(candidates, key=lambda p: p.length)
+    merged = MergedSubnet(prefix=block)
+    for vantage, subnet in cluster:
+        merged.observation_count += 1
+        members_inside = {m for m in subnet.members if m in block}
+        if members_inside:
+            merged.observers.add(vantage)
+            merged.members.update(members_inside)
+    return merged

@@ -1,0 +1,202 @@
+"""Fluent topology construction helpers.
+
+Hand-building a :class:`~repro.netsim.topology.Topology` interface by
+interface is verbose; the builder offers the vocabulary the paper uses —
+point-to-point links and multi-access LANs between named routers — plus a
+CIDR block allocator for the synthetic topology generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .addressing import AddressError, Prefix, ip
+from .router import DirectConfig, IndirectConfig, Router
+from .subnet import Subnet
+from .topology import Host, Topology, TopologyError
+
+
+class PrefixAllocator:
+    """Carves non-overlapping CIDR blocks out of a base block, in order.
+
+    >>> alloc = PrefixAllocator("10.0.0.0/8")
+    >>> str(alloc.allocate(30))
+    '10.0.0.0/30'
+    >>> str(alloc.allocate(29))
+    '10.0.0.8/29'
+    """
+
+    def __init__(self, base: Union[str, Prefix] = "10.0.0.0/8"):
+        self.base = Prefix.parse(base) if isinstance(base, str) else base
+        self._cursor = self.base.network
+
+    def allocate(self, length: int) -> Prefix:
+        """Return the next free /length block inside the base block."""
+        if length < self.base.length:
+            raise AddressError(
+                f"cannot allocate /{length} out of {self.base}"
+            )
+        size = 1 << (32 - length)
+        aligned = (self._cursor + size - 1) & ~(size - 1)
+        block = Prefix(aligned, length)
+        if block.broadcast > self.base.broadcast:
+            raise AddressError(f"allocator for {self.base} exhausted")
+        self._cursor = aligned + size
+        return block
+
+    @property
+    def remaining(self) -> int:
+        """Addresses not yet handed out."""
+        return self.base.broadcast - self._cursor + 1
+
+
+class TopologyBuilder:
+    """Builds a validated topology from links, LANs and hosts."""
+
+    def __init__(self, name: str = "topology",
+                 allocator: Optional[PrefixAllocator] = None):
+        self._topology = Topology(name)
+        self.allocator = allocator if allocator is not None else PrefixAllocator()
+        self._subnet_counter = 0
+        self._host_counter = 0
+
+    @classmethod
+    def wrap(cls, topology: Topology,
+             allocator: Optional[PrefixAllocator] = None) -> "TopologyBuilder":
+        """A builder extending an existing topology (e.g. adding vantages)."""
+        instance = cls.__new__(cls)
+        instance._topology = topology
+        instance.allocator = allocator if allocator is not None else PrefixAllocator()
+        instance._subnet_counter = len(topology.subnets)
+        instance._host_counter = len(topology.hosts)
+        return instance
+
+    # -- routers -----------------------------------------------------------
+
+    def router(self, router_id: str,
+               indirect_config: IndirectConfig = IndirectConfig.INCOMING,
+               direct_config: DirectConfig = DirectConfig.PROBED,
+               default_address: Optional[int] = None) -> Router:
+        """Create (or return an existing) router."""
+        existing = self._topology.routers.get(router_id)
+        if existing is not None:
+            return existing
+        return self._topology.add_router(Router(
+            router_id=router_id,
+            indirect_config=indirect_config,
+            direct_config=direct_config,
+            default_address=default_address,
+        ))
+
+    def routers(self, router_ids: Iterable[str]) -> List[Router]:
+        """Create several routers with default configurations."""
+        return [self.router(router_id) for router_id in router_ids]
+
+    # -- subnets -----------------------------------------------------------
+
+    def _next_subnet_id(self) -> str:
+        while True:
+            self._subnet_counter += 1
+            candidate = f"s{self._subnet_counter}"
+            if candidate not in self._topology.subnets:
+                return candidate
+
+    def subnet(self, prefix: Union[str, Prefix],
+               subnet_id: Optional[str] = None) -> Subnet:
+        """Register an empty subnet with an explicit block."""
+        block = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        return self._topology.add_subnet(Subnet(
+            subnet_id=subnet_id if subnet_id is not None else self._next_subnet_id(),
+            prefix=block,
+        ))
+
+    def attach(self, router_id: str, subnet_id: str, address) -> None:
+        """Put an interface of ``router_id`` on ``subnet_id`` at ``address``."""
+        self.router(router_id)
+        self._topology.connect(router_id, subnet_id, ip(address))
+
+    def link(self, a: str, b: str,
+             prefix: Optional[Union[str, Prefix]] = None,
+             length: int = 30, subnet_id: Optional[str] = None) -> Subnet:
+        """Point-to-point link between two routers (/31 or /30).
+
+        When ``prefix`` is omitted a fresh /``length`` block is allocated.
+        """
+        if prefix is None:
+            block = self.allocator.allocate(length)
+        else:
+            block = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        if block.length < 30:
+            raise TopologyError(f"{block} is not a point-to-point block")
+        subnet = self.subnet(block, subnet_id)
+        addresses = list(block.host_addresses())
+        self.attach(a, subnet.subnet_id, addresses[0])
+        self.attach(b, subnet.subnet_id, addresses[1])
+        return subnet
+
+    def lan(self, members: Union[Sequence[str], Dict[str, object]],
+            prefix: Optional[Union[str, Prefix]] = None,
+            length: int = 29, subnet_id: Optional[str] = None) -> Subnet:
+        """Multi-access LAN joining several routers.
+
+        ``members`` is either a sequence of router ids (addresses assigned
+        in order from the block's host range) or a mapping
+        ``{router_id: address}``.
+        """
+        if prefix is None:
+            block = self.allocator.allocate(length)
+        else:
+            block = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        subnet = self.subnet(block, subnet_id)
+        if isinstance(members, dict):
+            assignments = [(router_id, ip(addr)) for router_id, addr in members.items()]
+        else:
+            members = list(members)
+            if len(members) > block.host_capacity:
+                raise TopologyError(
+                    f"{len(members)} members exceed {block} host capacity "
+                    f"({block.host_capacity})"
+                )
+            hosts = block.host_addresses()
+            assignments = [(router_id, next(hosts)) for router_id in members]
+        for router_id, address in assignments:
+            self.attach(router_id, subnet.subnet_id, address)
+        return subnet
+
+    # -- hosts ---------------------------------------------------------------
+
+    def host(self, host_id: str, subnet_id: str, address,
+             gateway_router_id: Optional[str] = None) -> Host:
+        """Attach a host to an existing subnet."""
+        return self._topology.add_host(host_id, subnet_id, ip(address),
+                                       gateway_router_id)
+
+    def edge_host(self, host_id: str, gateway_router_id: str,
+                  prefix: Optional[Union[str, Prefix]] = None,
+                  length: int = 30) -> Host:
+        """Hang a stub subnet off a router and put a host on it.
+
+        This models a vantage point: a machine one hop behind its gateway.
+        """
+        if prefix is None:
+            block = self.allocator.allocate(length)
+        else:
+            block = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        subnet = self.subnet(block)
+        addresses = list(block.host_addresses())
+        self.attach(gateway_router_id, subnet.subnet_id, addresses[0])
+        return self.host(host_id, subnet.subnet_id, addresses[1],
+                         gateway_router_id)
+
+    # -- finish ---------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The topology under construction (not yet validated)."""
+        return self._topology
+
+    def build(self, validate: bool = True) -> Topology:
+        """Validate and return the finished topology."""
+        if validate:
+            self._topology.validate()
+        return self._topology

@@ -1,0 +1,319 @@
+"""The forwarding engine: hop-by-hop probe simulation.
+
+This is the stand-in for the live Internet.  A probe injected at a vantage
+host walks the routed path hop by hop with real TTL semantics: every
+intermediate router decrements the TTL and, at zero, answers with an ICMP
+TTL-Exceeded sourced according to its response configuration; the router
+owning the destination address delivers and answers according to its direct
+configuration.  Firewalls, silent interfaces, protocol bias and rate limits
+are consulted through the :class:`~repro.netsim.responsiveness.ResponsePolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from dataclasses import replace
+
+from .packet import (
+    ALIVE_RESPONSES,
+    RECORD_ROUTE_SLOTS,
+    Probe,
+    Protocol,
+    Response,
+    ResponseType,
+)
+from .responsiveness import ResponsePolicy, fully_responsive
+from .router import DirectConfig, IndirectConfig, IpIdMode, Router
+from .routing import FlowKey, LoadBalancer, RoutingTable
+from .topology import Host, Topology
+
+
+class UnassignedAddressBehavior(enum.Enum):
+    """What the last-hop router does for an address with no interface."""
+
+    SILENT = "silent"
+    HOST_UNREACHABLE = "host-unreachable"
+
+
+@dataclass
+class WireEvent:
+    """One hop of a probe's journey, for debugging and white-box tests."""
+
+    probe_id: int
+    router_id: str
+    action: str
+    detail: str = ""
+
+
+@dataclass
+class EngineStats:
+    """Counters the overhead benches read."""
+
+    probes_sent: int = 0
+    responses_returned: int = 0
+    silent_drops: int = 0
+    per_protocol: dict = field(default_factory=dict)
+
+    def record_probe(self, protocol: Protocol) -> None:
+        self.probes_sent += 1
+        self.per_protocol[protocol] = self.per_protocol.get(protocol, 0) + 1
+
+
+class Engine:
+    """Injects probes into a topology and produces responses.
+
+    The engine owns a virtual clock that ticks once per probe; rate limiters
+    run on that clock, so behaviour is reproducible probe for probe.
+    """
+
+    def __init__(self, topology: Topology,
+                 routing: Optional[RoutingTable] = None,
+                 policy: Optional[ResponsePolicy] = None,
+                 balancer: Optional[LoadBalancer] = None,
+                 max_hops: int = 64,
+                 unassigned_behavior: UnassignedAddressBehavior =
+                 UnassignedAddressBehavior.SILENT,
+                 keep_wire_log: bool = False,
+                 seed: int = 0,
+                 ip_id_noise: int = 8):
+        self.topology = topology
+        self.routing = routing if routing is not None else RoutingTable(topology)
+        self.policy = policy if policy is not None else fully_responsive()
+        self.balancer = balancer if balancer is not None else LoadBalancer()
+        self.max_hops = max_hops
+        self.unassigned_behavior = unassigned_behavior
+        self.clock = 0
+        self.stats = EngineStats()
+        self.wire_log: List[WireEvent] = []
+        self._keep_wire_log = keep_wire_log
+        # IP-ID state: per-responder shared counters (plus noise emulating
+        # the router's other traffic) or per-packet random values.
+        self._ip_id_rng = random.Random(seed ^ 0x1D5EED)
+        self._ip_id_noise = max(0, ip_id_noise)
+        self._ip_id_counters: Dict[str, int] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def send(self, probe: Probe) -> Optional[Response]:
+        """Inject one probe; return the response seen at the vantage (or None)."""
+        self.clock += 1
+        self.stats.record_probe(probe.protocol)
+        stamps: List[int] = []
+        response = self._walk(probe, stamps)
+        if response is not None and probe.record_route and stamps:
+            response = replace(response, record_route=tuple(stamps))
+        if response is None:
+            self.stats.silent_drops += 1
+        else:
+            self.stats.responses_returned += 1
+        return response
+
+    def path_routers(self, src_host_id: str, dst: int) -> List[str]:
+        """Ground-truth router path from a host toward ``dst`` (tests only).
+
+        Uses flow id 0, so under per-flow balancing this is *a* stable path;
+        under per-packet balancing it is one sample.
+        """
+        host = self.topology.hosts[src_host_id]
+        flow = FlowKey(src=host.address, dst=dst, protocol="icmp", flow_id=0)
+        path: List[str] = []
+        current_id = host.gateway_router_id
+        dest_subnet = self.topology.subnet_containing(dst)
+        for _ in range(self.max_hops):
+            path.append(current_id)
+            router = self.topology.routers[current_id]
+            if router.owns(dst):
+                return path
+            if dest_subnet is not None and router.interface_on(dest_subnet.subnet_id):
+                iface = self.topology.interface_at(dst)
+                if iface is None:
+                    return path
+                path.append(iface.router_id)
+                return path
+            if dest_subnet is None:
+                return path
+            hops = self.routing.next_hops(current_id, dest_subnet.subnet_id)
+            if not hops:
+                return path
+            current_id = self.balancer.choose(current_id, hops, flow).router_id
+        return path
+
+    def hop_distance(self, src_host_id: str, dst: int) -> Optional[int]:
+        """Ground-truth hop distance from a host to an interface address."""
+        iface = self.topology.interface_at(dst)
+        if iface is None:
+            return None
+        path = self.path_routers(src_host_id, dst)
+        if not path or path[-1] != iface.router_id:
+            return None
+        return len(path)
+
+    # -- internals ----------------------------------------------------------
+
+    def _log(self, probe: Probe, router_id: str, action: str, detail: str = "") -> None:
+        if self._keep_wire_log:
+            self.wire_log.append(WireEvent(probe.probe_id, router_id, action, detail))
+
+    def _walk(self, probe: Probe, stamps: Optional[List[int]] = None
+              ) -> Optional[Response]:
+        host = self.topology.host_at(probe.src)
+        if host is None:
+            raise ValueError(f"probe source {probe.src} is not a registered host")
+        flow = FlowKey(src=probe.src, dst=probe.dst,
+                       protocol=probe.protocol.value, flow_id=probe.flow_id)
+        dest_subnet = self.topology.subnet_containing(probe.dst)
+        dest_host = self.topology.host_at(probe.dst)
+
+        current = self.topology.routers[host.gateway_router_id]
+        incoming_address: Optional[int] = None
+        entry_iface = current.interface_on(host.subnet_id)
+        if entry_iface is not None:
+            incoming_address = entry_iface.address
+        ttl = probe.ttl
+
+        for _ in range(self.max_hops):
+            if current.owns(probe.dst):
+                self._log(probe, current.router_id, "deliver")
+                return self._direct_response(probe, current)
+
+            ttl -= 1
+            if ttl == 0:
+                self._log(probe, current.router_id, "ttl-exceeded")
+                return self._ttl_exceeded(probe, current, incoming_address, host)
+
+            if dest_subnet is not None and current.interface_on(dest_subnet.subnet_id):
+                self._stamp(probe, current, dest_subnet.subnet_id, stamps)
+                return self._deliver_across_lan(probe, current, dest_subnet.subnet_id,
+                                                dest_host)
+            if dest_subnet is None:
+                self._log(probe, current.router_id, "no-route")
+                return None
+            hops = self.routing.next_hops(current.router_id, dest_subnet.subnet_id)
+            if not hops:
+                self._log(probe, current.router_id, "no-route")
+                return None
+            choice = self.balancer.choose(current.router_id, hops, flow)
+            self._stamp(probe, current, choice.via_subnet_id, stamps)
+            next_router = self.topology.routers[choice.router_id]
+            via_iface = next_router.interface_on(choice.via_subnet_id)
+            incoming_address = via_iface.address if via_iface is not None else None
+            self._log(probe, current.router_id, "forward",
+                      f"-> {choice.router_id} via {choice.via_subnet_id}")
+            current = next_router
+        self._log(probe, current.router_id, "hop-limit")
+        return None
+
+    def _deliver_across_lan(self, probe: Probe, current: Router,
+                            subnet_id: str, dest_host: Optional[Host]
+                            ) -> Optional[Response]:
+        """Final LAN hop: ``current`` is attached to the destination subnet."""
+        if dest_host is not None and dest_host.subnet_id == subnet_id:
+            self._log(probe, current.router_id, "deliver-host", dest_host.host_id)
+            return self._host_response(probe, dest_host)
+        iface = self.topology.interface_at(probe.dst)
+        if iface is None or iface.subnet_id != subnet_id:
+            self._log(probe, current.router_id, "unassigned", str(probe.dst))
+            return self._unassigned_response(probe, current, subnet_id)
+        target_router = self.topology.routers[iface.router_id]
+        self._log(probe, target_router.router_id, "deliver", "lan")
+        return self._direct_response(probe, target_router)
+
+    def _stamp(self, probe: Probe, router: Router, via_subnet_id: str,
+               stamps: Optional[List[int]]) -> None:
+        """Record-route: a forwarding router stamps its outgoing interface
+        (RFC 791, up to 9 slots) — the DisCarte data source."""
+        if stamps is None or not probe.record_route:
+            return
+        if len(stamps) >= RECORD_ROUTE_SLOTS:
+            return
+        iface = router.interface_on(via_subnet_id)
+        if iface is not None:
+            stamps.append(iface.address)
+
+    # -- response generation -------------------------------------------------
+
+    def _next_ip_id(self, responder_id: str, mode: IpIdMode) -> int:
+        """The IP identification value of the next packet ``responder_id``
+        sends: a shared wrapping counter (with noise standing in for the
+        router's other traffic) or a fresh random value."""
+        if mode == IpIdMode.RANDOM:
+            return self._ip_id_rng.randrange(65536)
+        current = self._ip_id_counters.get(responder_id)
+        if current is None:
+            current = self._ip_id_rng.randrange(65536)
+        step = 1 + (self._ip_id_rng.randrange(self._ip_id_noise)
+                    if self._ip_id_noise else 0)
+        value = (current + step) % 65536
+        self._ip_id_counters[responder_id] = value
+        return value
+
+    def _direct_response(self, probe: Probe, router: Router) -> Optional[Response]:
+        subnet = self.topology.subnet_containing(probe.dst)
+        if subnet is not None and self.policy.subnet_is_firewalled(subnet.subnet_id):
+            return None
+        if self.policy.interface_is_silent(probe.dst):
+            return None
+        if not self.policy.router_responds(router.router_id, probe.protocol, self.clock):
+            return None
+        if router.direct_config == DirectConfig.NIL:
+            return None
+        return Response(kind=ALIVE_RESPONSES[probe.protocol], source=probe.dst,
+                        probe=probe, responder=router.router_id,
+                        ip_id=self._next_ip_id(router.router_id,
+                                               router.ip_id_mode))
+
+    def _host_response(self, probe: Probe, host: Host) -> Optional[Response]:
+        subnet_id = host.subnet_id
+        if self.policy.subnet_is_firewalled(subnet_id):
+            return None
+        if self.policy.interface_is_silent(probe.dst):
+            return None
+        return Response(kind=ALIVE_RESPONSES[probe.protocol], source=probe.dst,
+                        probe=probe, responder=host.host_id,
+                        ip_id=self._next_ip_id(host.host_id, IpIdMode.SHARED))
+
+    def _ttl_exceeded(self, probe: Probe, router: Router,
+                      incoming_address: Optional[int],
+                      vantage: Host) -> Optional[Response]:
+        if not self.policy.router_responds(router.router_id, probe.protocol, self.clock):
+            return None
+        source: Optional[int]
+        if router.indirect_config == IndirectConfig.NIL:
+            return None
+        if router.indirect_config == IndirectConfig.INCOMING:
+            source = incoming_address
+        elif router.indirect_config == IndirectConfig.SHORTEST_PATH:
+            source = self.routing.egress_interface_toward(
+                router.router_id, vantage.subnet_id)
+        else:
+            source = router.report_address()
+        if source is None:
+            return None
+        if self.policy.interface_is_silent(source):
+            # A reticent interface still sources TTL-Exceeded packets; only
+            # direct probes to it are filtered.  Keep the reply.
+            pass
+        return Response(kind=ResponseType.TTL_EXCEEDED, source=source,
+                        probe=probe, responder=router.router_id,
+                        ip_id=self._next_ip_id(router.router_id,
+                                               router.ip_id_mode))
+
+    def _unassigned_response(self, probe: Probe, router: Router,
+                             subnet_id: str) -> Optional[Response]:
+        if self.unassigned_behavior == UnassignedAddressBehavior.SILENT:
+            return None
+        if self.policy.subnet_is_firewalled(subnet_id):
+            return None
+        if not self.policy.router_responds(router.router_id, probe.protocol, self.clock):
+            return None
+        iface = router.interface_on(subnet_id)
+        if iface is None:
+            return None
+        return Response(kind=ResponseType.HOST_UNREACHABLE, source=iface.address,
+                        probe=probe, responder=router.router_id,
+                        ip_id=self._next_ip_id(router.router_id,
+                                               router.ip_id_mode))

@@ -1,0 +1,36 @@
+"""Interface model.
+
+An interface is the atomic unit of the router-level Internet graph: the
+paper identifies a router by the set of interfaces it hosts and a subnet by
+the set of interfaces directly connected to it (Section 3).  Every interface
+therefore belongs to exactly one router and exactly one subnet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .addressing import format_ip
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One (router, subnet, address) binding.
+
+    Attributes:
+        address: the interface's IPv4 address as an integer.
+        router_id: identifier of the hosting router.
+        subnet_id: identifier of the subnet the interface attaches to.
+    """
+
+    address: int
+    router_id: str
+    subnet_id: str
+
+    @property
+    def ip_text(self) -> str:
+        """Dotted-quad rendering of the interface address."""
+        return format_ip(self.address)
+
+    def __str__(self) -> str:
+        return f"{self.ip_text}@{self.router_id}"

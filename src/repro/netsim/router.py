@@ -1,0 +1,117 @@
+"""Router model and router response configurations.
+
+Section 3.1(iii) of the paper enumerates the five response policies observed
+on the Internet: *nil*, *probed*, *incoming*, *shortest-path*, and *default*
+interface routers.  Responsive routers normally act as probed-interface
+routers for direct probes and as one of the other configurations for
+indirect probes (a router cannot be a probed-interface router for an
+indirect query — the probe never names one of its addresses).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .iface import Interface
+
+
+class IndirectConfig(enum.Enum):
+    """How a router sources its ICMP TTL-Exceeded replies."""
+
+    NIL = "nil"
+    INCOMING = "incoming"
+    SHORTEST_PATH = "shortest-path"
+    DEFAULT = "default"
+
+
+class DirectConfig(enum.Enum):
+    """How a router answers probes destined to one of its own addresses."""
+
+    NIL = "nil"
+    PROBED = "probed"
+
+
+class IpIdMode(enum.Enum):
+    """How a router fills the IP identification field of its responses.
+
+    SHARED — one monotonically increasing counter for the whole router,
+    the behaviour Ally-style alias resolution exploits.  RANDOM — a fresh
+    random value per packet (modern stacks), which defeats Ally.
+    """
+
+    SHARED = "shared"
+    RANDOM = "random"
+
+
+@dataclass
+class Router:
+    """A router: a named set of interfaces plus its response behaviour.
+
+    Attributes:
+        router_id: unique identifier within a topology.
+        indirect_config: source-address policy for TTL-Exceeded replies.
+        direct_config: reply policy for probes to the router's own addresses.
+        default_address: address reported by DEFAULT-configured routers; when
+            unset, the numerically lowest interface address is used.
+    """
+
+    router_id: str
+    indirect_config: IndirectConfig = IndirectConfig.INCOMING
+    direct_config: DirectConfig = DirectConfig.PROBED
+    default_address: Optional[int] = None
+    ip_id_mode: IpIdMode = IpIdMode.SHARED
+    _interfaces: Dict[int, Interface] = field(default_factory=dict, repr=False)
+
+    def attach(self, interface: Interface) -> None:
+        """Register an interface on this router (one address, one slot)."""
+        if interface.router_id != self.router_id:
+            raise ValueError(
+                f"interface {interface} belongs to {interface.router_id}, "
+                f"not {self.router_id}"
+            )
+        if interface.address in self._interfaces:
+            raise ValueError(f"duplicate address on {self.router_id}: {interface}")
+        self._interfaces[interface.address] = interface
+
+    @property
+    def interfaces(self) -> List[Interface]:
+        """All interfaces hosted by this router."""
+        return list(self._interfaces.values())
+
+    @property
+    def addresses(self) -> List[int]:
+        """All addresses assigned to this router's interfaces."""
+        return list(self._interfaces.keys())
+
+    @property
+    def subnet_ids(self) -> List[str]:
+        """Identifiers of the subnets this router attaches to."""
+        return [iface.subnet_id for iface in self._interfaces.values()]
+
+    def owns(self, address: int) -> bool:
+        """True when ``address`` is assigned to one of this router's interfaces."""
+        return address in self._interfaces
+
+    def interface_for(self, address: int) -> Interface:
+        """The interface carrying ``address`` (KeyError when absent)."""
+        return self._interfaces[address]
+
+    def interface_on(self, subnet_id: str) -> Optional[Interface]:
+        """The router's interface on ``subnet_id``, or None when not attached."""
+        for iface in self._interfaces.values():
+            if iface.subnet_id == subnet_id:
+                return iface
+        return None
+
+    def report_address(self) -> Optional[int]:
+        """Address a DEFAULT-configured router stamps on replies."""
+        if self.default_address is not None:
+            return self.default_address
+        if not self._interfaces:
+            return None
+        return min(self._interfaces.keys())
+
+    def __str__(self) -> str:
+        return f"Router({self.router_id}, {len(self._interfaces)} ifaces)"

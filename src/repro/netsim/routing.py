@@ -1,0 +1,169 @@
+"""Shortest-path routing over the router↔subnet graph.
+
+Routing is per destination *subnet* (routers advertise their connected
+prefixes): a packet destined to an address in subnet S is forwarded along a
+hop-count shortest path until it reaches a router attached to S, which then
+delivers across the LAN.  Equal-cost ties produce ECMP next-hop sets; the
+:class:`LoadBalancer` decides which member a given packet takes, modelling
+the per-flow and per-packet load-balancing behaviours of Section 3.7.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """One forwarding choice: the neighbor router and the subnet crossed."""
+
+    router_id: str
+    via_subnet_id: str
+
+
+class LoadBalancingMode(enum.Enum):
+    """How a router picks among equal-cost next hops."""
+
+    NONE = "none"            # deterministic: always the first candidate
+    PER_FLOW = "per-flow"    # hash of flow identity (Paris-stable)
+    PER_PACKET = "per-packet"  # random per packet (the hostile case)
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The header fields a per-flow balancer hashes."""
+
+    src: int
+    dst: int
+    protocol: str
+    flow_id: int
+
+
+class LoadBalancer:
+    """Per-router ECMP tie-breaking policy.
+
+    Deterministic given its seed: per-flow hashing uses CRC32 over the flow
+    key, per-packet splitting uses a seeded PRNG stream.
+    """
+
+    def __init__(self, default_mode: LoadBalancingMode = LoadBalancingMode.NONE,
+                 seed: int = 0):
+        self.default_mode = default_mode
+        self._per_router: Dict[str, LoadBalancingMode] = {}
+        self._rng = random.Random(seed)
+
+    def set_mode(self, router_id: str, mode: LoadBalancingMode) -> None:
+        """Override the balancing mode of one router."""
+        self._per_router[router_id] = mode
+
+    def mode_of(self, router_id: str) -> LoadBalancingMode:
+        return self._per_router.get(router_id, self.default_mode)
+
+    def choose(self, router_id: str, candidates: List[NextHop],
+               flow: FlowKey) -> NextHop:
+        """Pick the next hop this packet takes at ``router_id``."""
+        if not candidates:
+            raise ValueError(f"no next-hop candidates at {router_id}")
+        if len(candidates) == 1:
+            return candidates[0]
+        mode = self.mode_of(router_id)
+        if mode == LoadBalancingMode.NONE:
+            return candidates[0]
+        if mode == LoadBalancingMode.PER_FLOW:
+            material = f"{router_id}|{flow.src}|{flow.dst}|{flow.protocol}|{flow.flow_id}"
+            digest = zlib.crc32(material.encode("ascii"))
+            return candidates[digest % len(candidates)]
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+class RoutingTable:
+    """All-pairs router→subnet distances and ECMP next-hop sets.
+
+    Built once per topology with one BFS per subnet over the router
+    adjacency graph; next-hop sets are derived lazily and cached.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        # subnet_id -> {router_id: hop distance to a router attached to subnet}
+        self._distance: Dict[str, Dict[str, int]] = {}
+        self._next_hops: Dict[Tuple[str, str], List[NextHop]] = {}
+        # Bipartite adjacency: large multi-access LANs stay O(interfaces)
+        # instead of O(members^2) router-pair edges.
+        self._router_subnets: Dict[str, List[str]] = {
+            router_id: sorted(set(router.subnet_ids))
+            for router_id, router in topology.routers.items()
+        }
+        self._subnet_routers: Dict[str, List[str]] = {
+            subnet_id: sorted(subnet.router_ids)
+            for subnet_id, subnet in topology.subnets.items()
+        }
+        for subnet_id in topology.subnets:
+            self._distance[subnet_id] = self._bfs_from_subnet(subnet_id)
+
+    def _bfs_from_subnet(self, start_subnet_id: str) -> Dict[str, int]:
+        distances: Dict[str, int] = {}
+        expanded_subnets = {start_subnet_id}
+        queue: deque = deque()
+        for router_id in self._subnet_routers[start_subnet_id]:
+            distances[router_id] = 0
+            queue.append(router_id)
+        while queue:
+            current = queue.popleft()
+            for subnet_id in self._router_subnets[current]:
+                if subnet_id in expanded_subnets:
+                    continue
+                expanded_subnets.add(subnet_id)
+                for neighbor in self._subnet_routers[subnet_id]:
+                    if neighbor not in distances:
+                        distances[neighbor] = distances[current] + 1
+                        queue.append(neighbor)
+        return distances
+
+    def distance(self, router_id: str, subnet_id: str) -> Optional[int]:
+        """Hops from ``router_id`` to the nearest router attached to ``subnet_id``.
+
+        0 means the router is itself attached; None means unreachable.
+        """
+        return self._distance[subnet_id].get(router_id)
+
+    def next_hops(self, router_id: str, subnet_id: str) -> List[NextHop]:
+        """The ECMP set at ``router_id`` toward ``subnet_id`` (may be empty)."""
+        key = (router_id, subnet_id)
+        cached = self._next_hops.get(key)
+        if cached is not None:
+            return cached
+        distances = self._distance[subnet_id]
+        own = distances.get(router_id)
+        candidates: List[NextHop] = []
+        if own is not None and own > 0:
+            for via in self._router_subnets[router_id]:
+                for neighbor in self._subnet_routers[via]:
+                    if neighbor != router_id and distances.get(neighbor) == own - 1:
+                        candidates.append(NextHop(router_id=neighbor,
+                                                  via_subnet_id=via))
+        self._next_hops[key] = candidates
+        return candidates
+
+    def egress_interface_toward(self, router_id: str, subnet_id: str) -> Optional[int]:
+        """Address of ``router_id``'s interface on its path toward ``subnet_id``.
+
+        This is the address a *shortest-path interface* router stamps on its
+        TTL-Exceeded replies when the reply target lives in ``subnet_id``.
+        """
+        router = self.topology.routers[router_id]
+        attached = router.interface_on(subnet_id)
+        if attached is not None:
+            return attached.address
+        hops = self.next_hops(router_id, subnet_id)
+        if not hops:
+            return None
+        via = router.interface_on(hops[0].via_subnet_id)
+        return via.address if via is not None else None

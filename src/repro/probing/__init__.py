@@ -1,0 +1,10 @@
+"""Probing layer: the raw-socket/scapy stand-in used by every tool.
+
+Provides :class:`~repro.probing.prober.Prober` (direct/indirect probes with
+retry, caching and metering) plus probe budgets and statistics.
+"""
+
+from .budget import ProbeBudget, ProbeBudgetExceeded, ProbeStats
+from .prober import Prober
+
+__all__ = ["ProbeBudget", "ProbeBudgetExceeded", "ProbeStats", "Prober"]

@@ -1,0 +1,98 @@
+"""Probe accounting and budgets.
+
+Section 3.6 of the paper models tracenet's probing overhead per subnet
+(lower bound 4 probes for an on-path point-to-point link, upper bound
+``7|S| + 7`` for a hostile off-path LAN).  To check our implementation
+against that model we meter every probe, tagged with the phase of the
+algorithm that issued it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class ProbeBudgetExceeded(RuntimeError):
+    """Raised when a metered prober exceeds its configured probe budget."""
+
+
+@dataclass
+class ProbeStats:
+    """Counters for probes issued through one prober."""
+
+    sent: int = 0
+    responses: int = 0
+    silent: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    by_phase: Dict[str, int] = field(default_factory=dict)
+
+    def record_sent(self, phase: Optional[str]) -> None:
+        self.sent += 1
+        if phase is not None:
+            self.by_phase[phase] = self.by_phase.get(phase, 0) + 1
+
+    def record_outcome(self, answered: bool) -> None:
+        if answered:
+            self.responses += 1
+        else:
+            self.silent += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """A flat copy, convenient for bench reports."""
+        flat = {
+            "sent": self.sent,
+            "responses": self.responses,
+            "silent": self.silent,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+        }
+        for phase, count in sorted(self.by_phase.items()):
+            flat[f"phase:{phase}"] = count
+        return flat
+
+    def diff(self, earlier: "ProbeStats") -> "ProbeStats":
+        """Stats accumulated since ``earlier`` (used per-subnet by benches)."""
+        delta = ProbeStats(
+            sent=self.sent - earlier.sent,
+            responses=self.responses - earlier.responses,
+            silent=self.silent - earlier.silent,
+            retries=self.retries - earlier.retries,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+        )
+        for phase, count in self.by_phase.items():
+            before = earlier.by_phase.get(phase, 0)
+            if count != before:
+                delta.by_phase[phase] = count - before
+        return delta
+
+    def copy(self) -> "ProbeStats":
+        return ProbeStats(
+            sent=self.sent,
+            responses=self.responses,
+            silent=self.silent,
+            retries=self.retries,
+            cache_hits=self.cache_hits,
+            by_phase=dict(self.by_phase),
+        )
+
+
+@dataclass
+class ProbeBudget:
+    """A hard cap on probes issued through one prober."""
+
+    limit: int
+    used: int = 0
+
+    def charge(self, count: int = 1) -> None:
+        """Consume budget; raise :class:`ProbeBudgetExceeded` when spent."""
+        if self.used + count > self.limit:
+            raise ProbeBudgetExceeded(
+                f"probe budget exhausted: {self.used}+{count} > {self.limit}"
+            )
+        self.used += count
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self.used

@@ -1,0 +1,152 @@
+"""The prober: tracenet's view of the network.
+
+Everything above this layer (tracenet, traceroute, ping) sees the network
+exclusively as *probe in, response out* — exactly the contract a raw-socket
+or scapy implementation would have.  The prober adds the operational
+behaviours the paper describes: one re-probe on silence (Section 3.8),
+response caching so merged heuristics don't pay twice for the same answer,
+stable ICMP header fields (Paris-style flow identity), and probe metering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..netsim.engine import Engine
+from ..netsim.packet import DEFAULT_TTL, Probe, Protocol, Response
+from .budget import ProbeBudget, ProbeStats
+
+CacheKey = Tuple[int, int, Protocol]
+
+
+class Prober:
+    """Issues direct and indirect probes from one vantage point.
+
+    Args:
+        engine: the forwarding engine (the "network").
+        vantage_host_id: which registered host the probes originate from.
+        protocol: probe transport (paper Section 4.2 compares all three).
+        retries: re-probes on silence; the paper's implementation uses 1.
+        use_cache: memoize (dst, ttl) -> response, including silence.
+        budget: optional hard probe cap.
+        flow_id: constant flow identity (vary per probe for classic
+            traceroute behaviour under per-flow load balancing).
+    """
+
+    def __init__(self, engine: Engine, vantage_host_id: str,
+                 protocol: Protocol = Protocol.ICMP,
+                 retries: int = 1,
+                 use_cache: bool = True,
+                 budget: Optional[ProbeBudget] = None,
+                 flow_id: int = 0,
+                 max_ttl: int = 32):
+        if vantage_host_id not in engine.topology.hosts:
+            raise ValueError(f"unknown vantage host {vantage_host_id!r}")
+        self.engine = engine
+        self.vantage = engine.topology.hosts[vantage_host_id]
+        self.protocol = protocol
+        self.retries = retries
+        self.use_cache = use_cache
+        self.budget = budget
+        self.flow_id = flow_id
+        self.max_ttl = max_ttl
+        self.stats = ProbeStats()
+        self._cache: Dict[CacheKey, Optional[Response]] = {}
+
+    # -- raw probe interface ------------------------------------------------
+
+    def probe(self, dst: int, ttl: int, phase: Optional[str] = None,
+              flow_id: Optional[int] = None) -> Optional[Response]:
+        """Send one probe (plus retries on silence); return the response.
+
+        Identical (dst, ttl) probes are answered from the cache when caching
+        is enabled — silence is cached too, after the retry has confirmed it.
+        """
+        key = (dst, min(ttl, DEFAULT_TTL), self.protocol)
+        if self.use_cache and flow_id is None and key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        response = self._send_once(dst, ttl, phase, flow_id)
+        attempt = 0
+        while response is None and attempt < self.retries:
+            attempt += 1
+            self.stats.retries += 1
+            response = self._send_once(dst, ttl, phase, flow_id)
+        if self.use_cache and flow_id is None:
+            self._cache[key] = response
+        return response
+
+    def direct_probe(self, dst: int, phase: Optional[str] = None
+                     ) -> Optional[Response]:
+        """Direct probing (Section 3.1(i)): a large-enough TTL, alive test."""
+        return self.probe(dst, DEFAULT_TTL, phase=phase)
+
+    def indirect_probe(self, dst: int, ttl: int, phase: Optional[str] = None,
+                       flow_id: Optional[int] = None) -> Optional[Response]:
+        """Indirect probing (Section 3.1(ii)): TTL-scoped discovery."""
+        if ttl >= DEFAULT_TTL:
+            raise ValueError("indirect probes need a small TTL")
+        return self.probe(dst, ttl, phase=phase, flow_id=flow_id)
+
+    def _send_once(self, dst: int, ttl: int, phase: Optional[str],
+                   flow_id: Optional[int]) -> Optional[Response]:
+        if self.budget is not None:
+            self.budget.charge()
+        self.stats.record_sent(phase)
+        probe = Probe(
+            src=self.vantage.address,
+            dst=dst,
+            ttl=ttl,
+            protocol=self.protocol,
+            flow_id=self.flow_id if flow_id is None else flow_id,
+        )
+        response = self.engine.send(probe)
+        self.stats.record_outcome(response is not None)
+        return response
+
+    # -- measured quantities ---------------------------------------------------
+
+    def is_alive(self, dst: int, phase: Optional[str] = None) -> bool:
+        """True when a direct probe proves ``dst`` is in use."""
+        response = self.direct_probe(dst, phase=phase)
+        return response is not None and response.is_alive_signal
+
+    def measure_distance(self, dst: int, hint: int = 1,
+                         phase: Optional[str] = None) -> Optional[int]:
+        """The direct hop distance dst(l) of Algorithm 2.
+
+        Starting from ``hint`` (the hop at which the address surfaced), walk
+        the TTL forward while probes expire short and backward while they
+        still reach, until the minimal reaching TTL is found.  Returns None
+        for unresponsive addresses.
+        """
+        ttl = max(1, min(hint, self.max_ttl))
+        response = self.probe(dst, ttl, phase=phase)
+        if response is not None and response.is_alive_signal:
+            while ttl > 1:
+                closer = self.probe(dst, ttl - 1, phase=phase)
+                if closer is not None and closer.is_alive_signal:
+                    ttl -= 1
+                else:
+                    break
+            return ttl
+        if response is not None and response.is_ttl_exceeded:
+            while ttl < self.max_ttl:
+                ttl += 1
+                further = self.probe(dst, ttl, phase=phase)
+                if further is not None and further.is_alive_signal:
+                    return ttl
+                if further is None:
+                    return None
+            return None
+        return None
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Forget cached responses (e.g. between independent traces)."""
+        self._cache.clear()
+
+    def stats_snapshot(self) -> ProbeStats:
+        """A copy of the counters, for per-subnet probe-cost diffs."""
+        return self.stats.copy()

@@ -1,0 +1,155 @@
+"""Batch survey runner with checkpointing.
+
+Survey-scale collection (the paper traces 34 084 targets) needs the
+operational wrapper every real measurement tool grows: walk a target list,
+persist results incrementally, survive interruption, and resume without
+re-probing finished targets.  :class:`SurveyRunner` wraps a
+:class:`~repro.core.tracenet.TraceNET` instance with exactly that.
+
+The checkpoint is a :class:`~repro.mapping.store.CollectionArchive` JSON
+document; a resumed run reloads it, seeds the tool's subnet registry from
+the archived subnets (so reuse keeps working across restarts), and skips
+targets whose traces are already recorded.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
+
+from .core.results import TraceResult
+from .core.tracenet import TraceNET
+from .mapping.store import CollectionArchive, load_archive, save_archive
+from .probing.budget import ProbeBudgetExceeded
+
+
+@dataclass
+class SurveyProgress:
+    """Progress counters reported to the caller (and the progress hook)."""
+
+    total_targets: int = 0
+    completed: int = 0
+    reached: int = 0
+    skipped: int = 0
+    probes_sent: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total_targets - self.completed - self.skipped
+
+    def describe(self) -> str:
+        return (f"{self.completed + self.skipped}/{self.total_targets} targets "
+                f"({self.skipped} resumed, {self.reached} reached, "
+                f"{self.probes_sent} probes)")
+
+
+class SurveyRunner:
+    """Drives a TraceNET instance over a target list with checkpoints.
+
+    Args:
+        tool: the collector (owns vantage, protocol, budget...).
+        checkpoint_path: JSON file written every ``checkpoint_every``
+            completed targets and at the end.  None disables persistence.
+        checkpoint_every: flush cadence.
+        progress: optional callback invoked with the updated
+            :class:`SurveyProgress` after every target.
+    """
+
+    def __init__(self, tool: TraceNET,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: int = 25,
+                 progress: Optional[Callable[[SurveyProgress], None]] = None):
+        self.tool = tool
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.progress_hook = progress
+        self.progress = SurveyProgress()
+        self.traces: List[TraceResult] = []
+        self._done_targets: Set[int] = set()
+        self._resume()
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, targets: Sequence[int]) -> SurveyProgress:
+        """Trace every target not already covered by the checkpoint."""
+        self.progress.total_targets = len(targets)
+        since_flush = 0
+        try:
+            for target in targets:
+                if target in self._done_targets:
+                    self.progress.skipped += 1
+                    self._report()
+                    continue
+                result = self.tool.trace(target)
+                self.traces.append(result)
+                self._done_targets.add(target)
+                self.progress.completed += 1
+                self.progress.reached += int(result.reached)
+                self.progress.probes_sent = self.tool.prober.stats.sent
+                self._report()
+                since_flush += 1
+                if since_flush >= self.checkpoint_every:
+                    self.flush()
+                    since_flush = 0
+        except ProbeBudgetExceeded:
+            # Budget exhaustion is an expected end condition for metered
+            # surveys; persist what we have and report.
+            self.flush()
+            raise
+        self.flush()
+        return self.progress
+
+    def flush(self) -> None:
+        """Write the checkpoint archive (no-op without a path)."""
+        if self.checkpoint_path is None:
+            return
+        archive = CollectionArchive(
+            vantage=self.tool.vantage_host_id,
+            subnets=list(self.tool.collected_subnets),
+            traces=list(self.traces),
+            metadata={"done_targets": sorted(self._done_targets)},
+        )
+        tmp_path = self.checkpoint_path + ".tmp"
+        save_archive(tmp_path, archive)
+        os.replace(tmp_path, self.checkpoint_path)
+
+    @property
+    def archive(self) -> CollectionArchive:
+        """The current collection as an archive (without writing it)."""
+        return CollectionArchive(
+            vantage=self.tool.vantage_host_id,
+            subnets=list(self.tool.collected_subnets),
+            traces=list(self.traces),
+            metadata={"done_targets": sorted(self._done_targets)},
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _resume(self) -> None:
+        if self.checkpoint_path is None or not os.path.exists(self.checkpoint_path):
+            return
+        archive = load_archive(self.checkpoint_path)
+        if archive.vantage != self.tool.vantage_host_id:
+            raise ValueError(
+                f"checkpoint belongs to vantage {archive.vantage!r}, "
+                f"not {self.tool.vantage_host_id!r}"
+            )
+        self.traces = list(archive.traces)
+        self._done_targets = set(archive.metadata.get("done_targets", []))
+        for subnet in archive.subnets:
+            self.tool._register(subnet)
+
+    def _report(self) -> None:
+        if self.progress_hook is not None:
+            self.progress_hook(self.progress)
+
+
+def run_survey_with_checkpoints(tool: TraceNET, targets: Sequence[int],
+                                checkpoint_path: str,
+                                checkpoint_every: int = 25) -> CollectionArchive:
+    """Convenience wrapper: run (or resume) and return the final archive."""
+    runner = SurveyRunner(tool, checkpoint_path=checkpoint_path,
+                          checkpoint_every=checkpoint_every)
+    runner.run(targets)
+    return runner.archive

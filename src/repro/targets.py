@@ -1,0 +1,124 @@
+"""Destination-selection strategies for topology surveys.
+
+The paper's related work stresses that *where you aim* decides what you
+see: Rocketfuel [21] picks sources/destinations so the target AS lies on
+the traced paths, AROMA [13] advocates destinations *inside* the targeted
+network, and skitter [17] sweeps a fixed global list.  This module offers
+the selection strategies as composable functions over a ground-truth
+network (or any address pool), so surveys and benches can measure what
+each buys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence
+
+from .netsim.addressing import Prefix
+from .topogen.spec import GeneratedNetwork
+
+Strategy = Callable[[GeneratedNetwork, random.Random, int], List[int]]
+
+
+def per_subnet(network: GeneratedNetwork, rng: random.Random,
+               budget: int) -> List[int]:
+    """One random responsive address per ground-truth subnet (the paper's
+    Internet2/GEANT recipe), truncated or cycled to fit the budget."""
+    base = network.pick_targets(rng)
+    if budget >= len(base):
+        return base
+    return sorted(rng.sample(base, budget))
+
+
+def uniform_addresses(network: GeneratedNetwork, rng: random.Random,
+                      budget: int) -> List[int]:
+    """Uniform over assigned addresses — the skitter-style global sweep.
+
+    Large subnets soak up most of the budget, so small point-to-point
+    links are frequently missed.
+    """
+    pool = sorted(
+        address
+        for record in network.records
+        for address in network.topology.subnets[record.subnet_id].addresses
+    )
+    if budget >= len(pool):
+        return pool
+    return sorted(rng.sample(pool, budget))
+
+
+def prefix_stratified(network: GeneratedNetwork, rng: random.Random,
+                      budget: int) -> List[int]:
+    """Split the budget evenly across prefix lengths, then subnets.
+
+    A coverage-oriented compromise: every subnet size class gets probed
+    even when one class dominates the address space.
+    """
+    by_length: Dict[int, List[List[int]]] = {}
+    for record in network.records:
+        subnet = network.topology.subnets[record.subnet_id]
+        by_length.setdefault(record.prefix.length, []).append(
+            sorted(subnet.addresses))
+    targets: List[int] = []
+    lengths = sorted(by_length)
+    share = max(1, budget // max(1, len(lengths)))
+    for length in lengths:
+        groups = by_length[length]
+        rng.shuffle(groups)
+        for group in groups[:share]:
+            if group:
+                targets.append(rng.choice(group))
+    rng.shuffle(targets)
+    return sorted(targets[:budget])
+
+
+def address_blocks(network: GeneratedNetwork, rng: random.Random,
+                   budget: int, block_length: int = 24) -> List[int]:
+    """One probe per /``block_length`` — the census-style sweep [11].
+
+    Cheap and unbiased by subnet knowledge, but blind inside dense blocks.
+    """
+    seen_blocks: Dict[Prefix, List[int]] = {}
+    for record in network.records:
+        subnet = network.topology.subnets[record.subnet_id]
+        for address in subnet.addresses:
+            block = Prefix.containing(address, block_length)
+            seen_blocks.setdefault(block, []).append(address)
+    targets = [rng.choice(sorted(members))
+               for _, members in sorted(seen_blocks.items(),
+                                        key=lambda kv: kv[0].network)]
+    if budget < len(targets):
+        targets = rng.sample(targets, budget)
+    return sorted(targets)
+
+
+STRATEGIES: Dict[str, Strategy] = {
+    "per-subnet": per_subnet,
+    "uniform": uniform_addresses,
+    "stratified": prefix_stratified,
+    "census-blocks": address_blocks,
+}
+
+
+def select(strategy: str, network: GeneratedNetwork, seed: int,
+           budget: int) -> List[int]:
+    """Run a named strategy deterministically."""
+    try:
+        chosen = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; pick one of {sorted(STRATEGIES)}"
+        ) from None
+    return chosen(network, random.Random(seed), budget)
+
+
+def coverage_of(targets: Sequence[int], network: GeneratedNetwork) -> float:
+    """Fraction of ground-truth subnets containing at least one target."""
+    if not network.records:
+        return 0.0
+    covered = 0
+    for record in network.records:
+        block = record.prefix
+        if any(target in block for target in targets):
+            covered += 1
+    return covered / len(network.records)

@@ -1,0 +1,28 @@
+"""Ground-truth topology generators for the paper's experiments."""
+
+from . import figures, geant, internet2, isp, random_topo
+from .isp import ISPProfile, MultiISPNetwork, build_internet, default_profiles
+from .spec import (
+    GeneratedNetwork,
+    NetworkBlueprint,
+    SubnetRecord,
+    add_vantage,
+    synthesize,
+)
+
+__all__ = [
+    "GeneratedNetwork",
+    "ISPProfile",
+    "MultiISPNetwork",
+    "NetworkBlueprint",
+    "SubnetRecord",
+    "add_vantage",
+    "build_internet",
+    "default_profiles",
+    "figures",
+    "geant",
+    "internet2",
+    "isp",
+    "random_topo",
+    "synthesize",
+]

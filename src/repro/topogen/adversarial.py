@@ -1,0 +1,228 @@
+"""Adversarial gauntlet topologies that stress individual heuristics.
+
+On tree-like research networks the H3/H6/H7/H8 fringe rules are largely
+redundant safety nets — H2's distance test and the half-utilization stop
+already catch most overgrowth.  Their real work begins when the address
+plan packs *equidistant* subnets into sibling CIDR blocks, which is exactly
+what dense ISP edge allocation looks like.  This module builds motifs where
+exactly one rule family stands between tracenet and a merge:
+
+* **sibling-LAN motif** (defeats the pipeline iff H3/H4 are off): two LANs
+  anchored on the same ingress router occupy sibling /28s; the
+  second-contra-pivot rule notices the ingress's second interface (H8
+  backs it up by recognizing the mate on the ingress router).
+* **foreign-entry motif** (defeats iff H6 is off): the sibling /28 holds a
+  LAN behind a *different* equidistant ingress whose own interface is
+  silenced — only the fixed-entry-point test notices the foreign entry.
+* **far-fringe motif** (an early-stop economy case, not an accuracy case):
+  the sibling /28 holds point-to-point links hanging one hop past the
+  LAN's members with silenced far routers.  H7 catches the near sides via
+  their mates; with H7 off, H2 eventually TTL-catches the far addresses
+  themselves and H1's shrink discards the absorbed near sides — the final
+  prefix is identical, only the stop attribution and probe spend differ.
+  (Any H7-catchable mate is itself a later H2-catchable candidate at the
+  same growth level, so H7 cannot change final accuracy on this substrate;
+  it buys earlier stops.)
+
+Each motif contributes its ground-truth subnets; a survey with a rule
+family disabled shows the merges/overestimates (or probe-count shifts)
+that family prevents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..netsim.addressing import Prefix
+from ..netsim.builder import PrefixAllocator, TopologyBuilder
+from ..netsim.responsiveness import ResponsePolicy
+from .spec import GeneratedNetwork, NetworkBlueprint, SubnetRecord
+
+
+@dataclass
+class GauntletMotif:
+    """Bookkeeping for one adversarial motif."""
+
+    kind: str
+    probed_lan: Prefix
+    sibling_blocks: List[Prefix] = field(default_factory=list)
+    target: int = 0
+
+
+def build_gauntlet(seed: int = 0, motifs_per_kind: int = 4
+                   ) -> "GauntletNetwork":
+    """A network of adversarial motifs hanging off a small backbone."""
+    rng = random.Random(seed)
+    builder = TopologyBuilder("gauntlet",
+                              allocator=PrefixAllocator("172.16.0.0/14"))
+    policy = ResponsePolicy(seed=seed)
+    records: List[SubnetRecord] = []
+    motifs: List[GauntletMotif] = []
+
+    # A short backbone chain gives the motifs varied distances.
+    backbone = [f"bb{i}" for i in range(4)]
+    for a, b in zip(backbone, backbone[1:]):
+        subnet = builder.link(a, b)
+        records.append(SubnetRecord(subnet.subnet_id, subnet.prefix, "p2p"))
+    counter = [0]
+
+    def fresh(prefix_tag: str) -> str:
+        counter[0] += 1
+        return f"{prefix_tag}{counter[0]}"
+
+    kinds = (["sibling-lan"] * motifs_per_kind
+             + ["far-fringe"] * motifs_per_kind
+             + ["foreign-entry"] * motifs_per_kind)
+    for kind in kinds:
+        anchor = rng.choice(backbone)
+        if kind == "sibling-lan":
+            motifs.append(_sibling_lan_motif(builder, records, anchor, fresh))
+        elif kind == "far-fringe":
+            motifs.append(_far_fringe_motif(builder, policy, records, anchor,
+                                            fresh))
+        else:
+            motifs.append(_foreign_entry_motif(builder, policy, records,
+                                               anchor, fresh))
+
+    builder.edge_host("vantage", backbone[0])
+    topology = builder.build()
+    return GauntletNetwork(
+        network=GeneratedNetwork(
+            name="gauntlet",
+            blueprint=NetworkBlueprint(name="gauntlet", seed=seed,
+                                       distribution={}),
+            topology=topology,
+            policy=policy,
+            records=records,
+        ),
+        motifs=motifs,
+    )
+
+
+@dataclass
+class GauntletNetwork:
+    """The gauntlet plus its motif inventory."""
+
+    network: GeneratedNetwork
+    motifs: List[GauntletMotif]
+
+    @property
+    def targets(self) -> List[int]:
+        return [motif.target for motif in self.motifs]
+
+    def motifs_of(self, kind: str) -> List[GauntletMotif]:
+        return [motif for motif in self.motifs if motif.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for motif in self.motifs:
+            counts[motif.kind] = counts.get(motif.kind, 0) + 1
+        return counts
+
+
+def _paired_blocks(builder: TopologyBuilder) -> List[Prefix]:
+    """Two sibling /28s (one /27, split) from the allocator."""
+    parent = builder.allocator.allocate(27)
+    return parent.halves()
+
+
+def _lan_with_members(builder: TopologyBuilder, block: Prefix,
+                      anchor_router: str, member_routers: List[str],
+                      anchor_last: bool = False):
+    """A LAN on ``block``: anchor + members, anchor's address first or last."""
+    hosts = list(block.host_addresses())
+    order = member_routers + [anchor_router] if anchor_last else \
+        [anchor_router] + member_routers
+    addresses = hosts[:len(order)]
+    if anchor_last:
+        assignment = dict(zip(order, addresses))
+    else:
+        assignment = dict(zip(order, addresses))
+    return builder.lan(assignment, prefix=block)
+
+
+def _sibling_lan_motif(builder, records, backbone_anchor, fresh):
+    """Two same-ingress LANs in sibling /28s; H3 is the only guard."""
+    ingress = fresh("sibA")
+    link = builder.link(backbone_anchor, ingress)
+    records.append(SubnetRecord(link.subnet_id, link.prefix, "p2p"))
+    low, high = _paired_blocks(builder)
+    # lan1 must stay over half-utilized at /28 (> 7 of 14) so exploration
+    # reaches the sibling block; lan1+lan2 together must exceed half of the
+    # /27 (> 15) so an un-stopped absorb keeps growing into a merge.
+    members1 = [fresh("sibm") for _ in range(9)]
+    members2 = [fresh("sibm") for _ in range(6)]
+    builder.routers(members1 + members2)
+    lan1 = _lan_with_members(builder, low, ingress, members1)
+    lan2 = _lan_with_members(builder, high, ingress, members2)
+    records.append(SubnetRecord(lan1.subnet_id, lan1.prefix, "lan"))
+    records.append(SubnetRecord(lan2.subnet_id, lan2.prefix, "lan"))
+    target = builder.topology.routers[members1[0]].interface_on(
+        lan1.subnet_id).address
+    return GauntletMotif(kind="sibling-lan", probed_lan=lan1.prefix,
+                         sibling_blocks=[lan2.prefix], target=target)
+
+
+def _far_fringe_motif(builder, policy, records, backbone_anchor, fresh):
+    """A LAN whose sibling /28 holds far point-to-point links; the far
+    routers are silenced so only H7/H8 can expose the near sides."""
+    ingress = fresh("farA")
+    link = builder.link(backbone_anchor, ingress)
+    records.append(SubnetRecord(link.subnet_id, link.prefix, "p2p"))
+    low, high = _paired_blocks(builder)
+    # 12 assigned of 14 keeps every level over half-utilized; together with
+    # the four absorbed near-side stub interfaces the /27 level exceeds
+    # half, so only H7's mate test stands between tracenet and a merge.
+    members = [fresh("farm") for _ in range(11)]
+    builder.routers(members)
+    lan = _lan_with_members(builder, low, ingress, members)
+    records.append(SubnetRecord(lan.subnet_id, lan.prefix, "lan"))
+    sibling_blocks = []
+    for index, sub_block in enumerate(high.halves()[0].halves()
+                                      + high.halves()[1].halves()):
+        owner = members[index]
+        far_router = fresh("farY")
+        stub = builder.link(owner, far_router, prefix=sub_block)
+        records.append(SubnetRecord(stub.subnet_id, stub.prefix, "p2p"))
+        sibling_blocks.append(stub.prefix)
+        far_iface = builder.topology.routers[far_router].interface_on(
+            stub.subnet_id)
+        policy.silence_interface(far_iface.address)
+        builder.topology.routers[far_router].indirect_config = \
+            builder.topology.routers[far_router].indirect_config
+    target = builder.topology.routers[members[-1]].interface_on(
+        lan.subnet_id).address
+    return GauntletMotif(kind="far-fringe", probed_lan=lan.prefix,
+                         sibling_blocks=sibling_blocks, target=target)
+
+
+def _foreign_entry_motif(builder, policy, records, backbone_anchor, fresh):
+    """A LAN whose sibling /28 holds another LAN behind a *different*
+    equidistant ingress with a silenced interface; only H6 notices."""
+    ingress1 = fresh("forA")
+    ingress2 = fresh("forB")
+    link1 = builder.link(backbone_anchor, ingress1)
+    link2 = builder.link(backbone_anchor, ingress2)
+    records.append(SubnetRecord(link1.subnet_id, link1.prefix, "p2p"))
+    records.append(SubnetRecord(link2.subnet_id, link2.prefix, "p2p"))
+    low, high = _paired_blocks(builder)
+    members1 = [fresh("form") for _ in range(9)]
+    members2 = [fresh("form") for _ in range(7)]
+    builder.routers(members1 + members2)
+    lan1 = _lan_with_members(builder, low, ingress1, members1)
+    # The foreign ingress takes the *last* address so its second-contra
+    # signature would only surface after the members have been absorbed —
+    # and it is silenced, so H3 never sees it at all.
+    lan2 = _lan_with_members(builder, high, ingress2, members2,
+                             anchor_last=True)
+    records.append(SubnetRecord(lan1.subnet_id, lan1.prefix, "lan"))
+    records.append(SubnetRecord(lan2.subnet_id, lan2.prefix, "lan"))
+    foreign_iface = builder.topology.routers[ingress2].interface_on(
+        lan2.subnet_id)
+    policy.silence_interface(foreign_iface.address)
+    target = builder.topology.routers[members1[0]].interface_on(
+        lan1.subnet_id).address
+    return GauntletMotif(kind="foreign-entry", probed_lan=lan1.prefix,
+                         sibling_blocks=[lan2.prefix], target=target)

@@ -1,0 +1,92 @@
+"""Hand-built topologies reproducing the paper's illustrative figures.
+
+* :func:`figure2_network` — the 9-router network of Figure 2, where paths
+  P1 (A→D) and P3 (B→C) look node/link-disjoint to traceroute but share the
+  central multi-access LAN that only tracenet reveals.
+* :func:`figure3_network` — the subnet-exploration scene of Figure 3: a
+  pivot/contra-pivot LAN with far-fringe and close-fringe neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..netsim.builder import TopologyBuilder
+from ..netsim.engine import Engine
+from ..netsim.topology import Host, Topology
+
+
+@dataclass
+class FigureNetwork:
+    """A figure topology plus the handles its experiments need."""
+
+    topology: Topology
+    hosts: Dict[str, Host]
+    landmarks: Dict[str, str]  # logical name -> subnet_id
+
+    def engine(self, **kwargs) -> Engine:
+        return Engine(self.topology, **kwargs)
+
+
+def figure2_network() -> FigureNetwork:
+    """The Figure 2 topology.
+
+    Routers R1..R9 (R7 exists in the real network but never appears on the
+    traced paths), hosts A, B, C, D.  The central multi-access LAN joins
+    R2, R4, R5 and R8 — the link P1 and P3 both cross without traceroute
+    noticing.
+    """
+    builder = TopologyBuilder("figure2")
+    builder.routers([f"R{i}" for i in range(1, 10)])
+
+    # Row 1 (top): R1 - R2; row 2: R3 - R4 - R5; row 3: R6 .. R7 - R8 - R9.
+    # R6-R7 is omitted so P3 = B,R6,R3,R4,R8,C crosses the shared LAN as in
+    # the paper's figure (with it, shortest-path routing would route P3
+    # through R7 and the demo's premise would not hold).
+    builder.link("R1", "R2")
+    builder.link("R3", "R4")
+    builder.link("R4", "R5")
+    builder.link("R6", "R3")
+    builder.link("R7", "R8")
+    builder.link("R8", "R9")
+    builder.link("R5", "R9")
+    builder.link("R1", "R3")
+
+    # The shared multi-access LAN of the figure: R2, R4, R5, R8.
+    shared = builder.lan(["R2", "R4", "R5", "R8"], length=29)
+
+    hosts = {
+        "A": builder.edge_host("A", "R1"),
+        "B": builder.edge_host("B", "R6"),
+        "C": builder.edge_host("C", "R8"),
+        "D": builder.edge_host("D", "R9"),
+    }
+    topology = builder.build()
+    return FigureNetwork(
+        topology=topology,
+        hosts=hosts,
+        landmarks={"shared_lan": shared.subnet_id},
+    )
+
+
+def figure3_network() -> FigureNetwork:
+    """The Figure 3 subnet-exploration scene.
+
+    The vantage sits two hops from ingress router R2; the /24 LAN under
+    investigation joins R2 (contra-pivot side), R3, R4 and R6; R7 hangs off
+    R2 (its interfaces are close fringe) and R5 hangs off R4 (far fringe).
+    """
+    builder = TopologyBuilder("figure3")
+    builder.routers(["R1", "R2", "R3", "R4", "R5", "R6", "R7"])
+    builder.link("R1", "R2")
+    lan = builder.lan(["R2", "R3", "R4", "R6"], length=24)
+    builder.link("R2", "R7")   # close fringe: R7's link shares router R2
+    builder.link("R4", "R5")   # far fringe: R5 is one hop past the LAN
+    hosts = {"vantage": builder.edge_host("vantage", "R1")}
+    topology = builder.build()
+    return FigureNetwork(
+        topology=topology,
+        hosts=hosts,
+        landmarks={"subnet_s": lan.subnet_id},
+    )

@@ -1,0 +1,281 @@
+"""Four commercial ISP backbones + a transit core (paper Section 4.2).
+
+The paper traces a common target set inside Sprintlink, AboveNet, Level3
+and NTT America from three PlanetLab vantage points (Rice, UOregon, UMass)
+and cross-validates the collected subnets.  We synthesize each ISP from a
+profile that captures what the paper's figures report about it:
+
+* Sprintlink — the largest subnet count, but the least responsive (rate
+  limiting + silent interfaces: many un-subnetized addresses in Figure 7);
+* NTT America — the most responsive, and the ISP with *large* subnets
+  (/22–/24): most subnetized IPs (Figure 7) yet fewest subnets (Figure 8);
+* Level3 / AboveNet — intermediate profiles;
+* per-router protocol bias ordered ICMP >> UDP >> TCP (Table 3).
+
+The ISPs are merged into one internet: border routers peer with each other
+and with three access routers, one per vantage point, so each vantage
+enters every ISP through a different border.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netsim.addressing import Prefix
+from ..netsim.builder import PrefixAllocator, TopologyBuilder
+from ..netsim.packet import Protocol
+from ..netsim.responsiveness import ResponsePolicy
+from ..netsim.topology import Host, Topology
+from .spec import GeneratedNetwork, NetworkBlueprint, synthesize
+
+VANTAGE_SITES = ("rice", "uoregon", "umass")
+
+
+@dataclass
+class ISPProfile:
+    """Synthesis profile for one ISP."""
+
+    name: str
+    base: str
+    distribution: Dict[int, int]
+    firewalled: Dict[int, int] = field(default_factory=dict)
+    partial: Dict[int, int] = field(default_factory=dict)
+    multihomed: Dict[int, int] = field(default_factory=dict)
+    backbone_routers: int = 10
+    chords: int = 3
+    #: fraction of routers answering each probe protocol (Table 3 driver)
+    protocol_rates: Dict[Protocol, float] = field(default_factory=dict)
+    #: fraction of routers behind an ICMP rate limiter
+    rate_limited_fraction: float = 0.0
+    rate_capacity: float = 12.0
+    rate_refill: float = 0.05
+
+
+def default_profiles(scale: float = 1.0) -> List[ISPProfile]:
+    """The four ISP profiles, optionally scaled down for quick runs.
+
+    ``scale=1.0`` gives the full-size networks used by the benches;
+    smaller values shrink every subnet count proportionally (minimum 1).
+    """
+
+    def scaled(counts: Dict[int, int]) -> Dict[int, int]:
+        return {length: max(1, int(round(count * scale)))
+                for length, count in counts.items()}
+
+    return [
+        ISPProfile(
+            name="sprintlink",
+            base="144.232.0.0/16",
+            distribution=scaled({31: 55, 30: 80, 29: 26, 28: 7, 27: 2, 24: 2}),
+            firewalled=scaled({30: 6, 29: 3}),
+            partial=scaled({29: 8, 28: 3}),
+            multihomed=scaled({29: 2}),
+            backbone_routers=12,
+            protocol_rates={Protocol.ICMP: 0.97, Protocol.UDP: 0.55,
+                            Protocol.TCP: 0.08},
+            rate_limited_fraction=0.50,
+            rate_capacity=4.0,
+            rate_refill=0.015,
+        ),
+        ISPProfile(
+            name="ntt",
+            base="129.250.0.0/16",
+            distribution=scaled({31: 18, 30: 36, 29: 9, 28: 4, 26: 2,
+                                 24: 2, 23: 1, 22: 1}),
+            firewalled=scaled({30: 2}),
+            partial=scaled({29: 1}),
+            backbone_routers=8,
+            protocol_rates={Protocol.ICMP: 0.99, Protocol.UDP: 0.3,
+                            Protocol.TCP: 0.06},
+            rate_limited_fraction=0.12,
+            rate_capacity=8.0,
+            rate_refill=0.04,
+        ),
+        ISPProfile(
+            name="level3",
+            base="4.68.0.0/16",
+            distribution=scaled({31: 40, 30: 65, 29: 20, 28: 5, 27: 1, 24: 1}),
+            firewalled=scaled({30: 4}),
+            partial=scaled({29: 4, 28: 1}),
+            multihomed=scaled({29: 2}),
+            backbone_routers=10,
+            protocol_rates={Protocol.ICMP: 0.97, Protocol.UDP: 0.5,
+                            Protocol.TCP: 0.08},
+            rate_limited_fraction=0.38,
+            rate_capacity=5.0,
+            rate_refill=0.02,
+        ),
+        ISPProfile(
+            name="abovenet",
+            base="64.125.0.0/16",
+            distribution=scaled({31: 26, 30: 48, 29: 12, 28: 3, 25: 1}),
+            firewalled=scaled({30: 3}),
+            partial=scaled({29: 2}),
+            backbone_routers=9,
+            protocol_rates={Protocol.ICMP: 0.97, Protocol.UDP: 0.5,
+                            Protocol.TCP: 0.15},
+            rate_limited_fraction=0.32,
+            rate_capacity=5.0,
+            rate_refill=0.02,
+        ),
+    ]
+
+
+@dataclass
+class MultiISPNetwork:
+    """Four ISPs, a transit core, and three vantage points — one internet."""
+
+    topology: Topology
+    policy: ResponsePolicy
+    isps: Dict[str, GeneratedNetwork]
+    vantages: Dict[str, Host]
+    profiles: Dict[str, ISPProfile]
+
+    def isp_of(self, address: int) -> Optional[str]:
+        """Which ISP's address space ``address`` belongs to (None: transit)."""
+        for name, profile in self.profiles.items():
+            if address in Prefix.parse(profile.base):
+                return name
+        return None
+
+    def isp_of_prefix(self, prefix: Prefix) -> Optional[str]:
+        return self.isp_of(prefix.network)
+
+    def targets(self, seed: int = 0, per_isp: Optional[int] = None
+                ) -> Dict[str, List[int]]:
+        """A common target set: assigned addresses inside each ISP.
+
+        Mirrors the paper's 34 084-address set (scaled): targets are drawn
+        from the ISPs' own address space, not their customers'.
+        """
+        rng = random.Random(seed)
+        per_isp_targets: Dict[str, List[int]] = {}
+        for name, network in self.isps.items():
+            addresses = sorted(
+                address
+                for record in network.records
+                for address in network.topology.subnets[record.subnet_id].addresses
+            )
+            if per_isp is not None and per_isp < len(addresses):
+                addresses = sorted(rng.sample(addresses, per_isp))
+            per_isp_targets[name] = addresses
+        return per_isp_targets
+
+    def targets_proportional(self, seed: int = 0, total: int = 300
+                             ) -> Dict[str, List[int]]:
+        """A target set weighted by each ISP's subnet population.
+
+        The paper's 34 084-address set covers each ISP's infrastructure
+        broadly; a flat per-ISP quota would over-sample the small ISPs.
+        Weighting by subnet count keeps Figure 8's shape: Sprintlink (the
+        most subnets) receives the most targets, NTT America the fewest —
+        and NTT's land mostly inside its few large LANs.
+        """
+        rng = random.Random(seed)
+        weights = {name: len(network.records)
+                   for name, network in self.isps.items()}
+        weight_sum = sum(weights.values())
+        grouped: Dict[str, List[int]] = {}
+        for name, network in sorted(self.isps.items()):
+            addresses = sorted(
+                address
+                for record in network.records
+                for address in network.topology.subnets[record.subnet_id].addresses
+            )
+            quota = max(1, round(total * weights[name] / weight_sum))
+            if quota < len(addresses):
+                addresses = sorted(rng.sample(addresses, quota))
+            grouped[name] = addresses
+        return grouped
+
+
+def build_internet(seed: int = 42, scale: float = 1.0,
+                   profiles: Optional[List[ISPProfile]] = None,
+                   vantage_sites=VANTAGE_SITES) -> MultiISPNetwork:
+    """Synthesize the four ISPs, peer them, and attach the vantage points."""
+    if profiles is None:
+        profiles = default_profiles(scale)
+    rng = random.Random(seed)
+    builder = TopologyBuilder("internet", allocator=PrefixAllocator("198.18.0.0/16"))
+    policy = ResponsePolicy(seed=seed)
+
+    isps: Dict[str, GeneratedNetwork] = {}
+    for index, profile in enumerate(profiles):
+        blueprint = NetworkBlueprint(
+            name=profile.name,
+            seed=seed + 101 * (index + 1),
+            base=profile.base,
+            distribution=profile.distribution,
+            firewalled=profile.firewalled,
+            partial=profile.partial,
+            multihomed=profile.multihomed,
+            backbone_routers=profile.backbone_routers,
+            chords=profile.chords,
+        )
+        # Each ISP allocates out of its own base block.
+        sub_builder = TopologyBuilder.wrap(builder.topology,
+                                           allocator=PrefixAllocator(profile.base))
+        network = synthesize(blueprint, builder=sub_builder, policy=policy,
+                             namespace=profile.name)
+        isps[profile.name] = network
+
+    _peer_isps(builder, isps, rng)
+    vantages = _attach_vantages(builder, isps, rng, vantage_sites)
+    _apply_isp_policies(builder.topology, policy, profiles, seed)
+    builder.topology.validate()
+    return MultiISPNetwork(
+        topology=builder.topology,
+        policy=policy,
+        isps=isps,
+        vantages=vantages,
+        profiles={profile.name: profile for profile in profiles},
+    )
+
+
+def _peer_isps(builder: TopologyBuilder, isps: Dict[str, GeneratedNetwork],
+               rng: random.Random) -> None:
+    """Private peering links between every ISP pair (neutral address space)."""
+    names = sorted(isps)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            for _ in range(2):
+                border_a = rng.choice(isps[a].border_router_ids)
+                border_b = rng.choice(isps[b].border_router_ids)
+                builder.link(border_a, border_b, length=30)
+
+
+def _attach_vantages(builder: TopologyBuilder, isps: Dict[str, GeneratedNetwork],
+                     rng: random.Random, vantage_sites) -> Dict[str, Host]:
+    """One access router per vantage, each homed to two distinct ISPs."""
+    names = sorted(isps)
+    vantages: Dict[str, Host] = {}
+    for index, site in enumerate(vantage_sites):
+        access = builder.router(f"transit:{site}-gw").router_id
+        # Rotate the homing so every vantage enters the ISPs differently.
+        first = names[index % len(names)]
+        second = names[(index + 1) % len(names)]
+        for isp_name in (first, second):
+            borders = isps[isp_name].border_router_ids
+            builder.link(access, rng.choice(borders), length=30)
+        vantages[site] = builder.edge_host(site, access)
+    return vantages
+
+
+def _apply_isp_policies(topology: Topology, policy: ResponsePolicy,
+                        profiles: List[ISPProfile], seed: int) -> None:
+    """Sample per-router protocol bias and rate limiting per ISP."""
+    rng = random.Random(seed ^ 0xB1A5)
+    for profile in profiles:
+        prefix_tag = f"{profile.name}:"
+        router_ids = sorted(r for r in topology.routers if r.startswith(prefix_tag))
+        for router_id in router_ids:
+            draw = rng.random()
+            for protocol, rate in profile.protocol_rates.items():
+                if draw >= rate:
+                    policy.refuse_protocol(router_id, protocol)
+            if rng.random() < profile.rate_limited_fraction:
+                policy.rate_limit_router(router_id,
+                                         capacity=profile.rate_capacity,
+                                         refill_per_tick=profile.rate_refill)

@@ -1,0 +1,64 @@
+"""Shared fixtures: small hand-built topologies every test layer reuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Engine, TopologyBuilder
+from repro.topogen import figures
+
+
+@pytest.fixture
+def line_builder():
+    """vantage -- R1 -- R2 -- R3 chain of /30 links."""
+    builder = TopologyBuilder("line")
+    builder.link("R1", "R2")
+    builder.link("R2", "R3")
+    builder.edge_host("vantage", "R1")
+    return builder
+
+
+@pytest.fixture
+def line_topology(line_builder):
+    return line_builder.build()
+
+
+@pytest.fixture
+def line_engine(line_topology):
+    return Engine(line_topology)
+
+
+@pytest.fixture
+def lan_network():
+    """The Figure 3 scene: ingress + /24 LAN + close/far fringes."""
+    return figures.figure3_network()
+
+
+@pytest.fixture
+def lan_engine(lan_network):
+    return lan_network.engine()
+
+
+@pytest.fixture
+def figure2():
+    return figures.figure2_network()
+
+
+def iface_of(topology, router_id, subnet_id=None):
+    """First interface of a router (optionally on a given subnet)."""
+    router = topology.routers[router_id]
+    if subnet_id is not None:
+        interface = router.interface_on(subnet_id)
+        assert interface is not None
+        return interface
+    return router.interfaces[0]
+
+
+def address_on(topology, router_id, other_router_id):
+    """Address of ``router_id``'s interface on the subnet it shares with
+    ``other_router_id``."""
+    router = topology.routers[router_id]
+    other = topology.routers[other_router_id]
+    shared = set(router.subnet_ids) & set(other.subnet_ids)
+    assert shared, f"{router_id} and {other_router_id} share no subnet"
+    return router.interface_on(sorted(shared)[0]).address

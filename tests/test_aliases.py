@@ -1,0 +1,221 @@
+"""Unit tests for alias resolution: union-find, analytical pairs, Ally."""
+
+import pytest
+
+from conftest import address_on
+from repro.aliases import (
+    AliasVerdict,
+    AllyResolver,
+    UnionFind,
+    alias_sets,
+    analytical_pairs,
+    ground_truth_pairs,
+    groups_from_pairs,
+    negative_pairs,
+    pair_keys,
+    pairs_from_sets,
+    score_pairs,
+)
+from repro.core import TraceNET
+from repro.core.results import ObservedSubnet
+from repro.netsim import Engine, TopologyBuilder
+from repro.netsim.router import IpIdMode
+from repro.probing import Prober
+
+
+def chain(n=4):
+    builder = TopologyBuilder("chain")
+    for i in range(1, n):
+        builder.link(f"R{i}", f"R{i+1}")
+    builder.edge_host("v", "R1")
+    topo = builder.build()
+    return Engine(topo), topo
+
+
+class TestUnionFind:
+    def test_union_and_together(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.together(1, 3)
+        assert not uf.together(1, 4)
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.union(4, 5)
+        groups = uf.groups()
+        assert {3, 4, 5} in groups
+        assert {1, 2} in groups
+
+    def test_groups_largest_first(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.union(4, 5)
+        assert uf.groups()[0] == {3, 4, 5}
+
+    def test_contains_and_len(self):
+        uf = UnionFind()
+        uf.add(7)
+        assert 7 in uf
+        assert len(uf) == 1
+
+    def test_groups_from_pairs(self):
+        groups = groups_from_pairs([(1, 2), (2, 3), (9, 10)])
+        assert {1, 2, 3} in groups
+        assert {9, 10} in groups
+
+
+class TestAnalyticalPairs:
+    def _subnet(self, **kwargs):
+        defaults = dict(pivot=100, pivot_distance=3, members={99, 100},
+                        contra_pivot=99, ingress=50, trace_entry=50,
+                        on_trace_path=True, trace_address=100)
+        defaults.update(kwargs)
+        return ObservedSubnet(**defaults)
+
+    def test_ingress_contra_pair(self):
+        pairs = analytical_pairs([self._subnet()])
+        assert (50, 99) in pair_keys(pairs)
+
+    def test_trace_entry_pair_when_distinct(self):
+        subnet = self._subnet(ingress=51, trace_entry=50)
+        keys = pair_keys(analytical_pairs([subnet]))
+        assert (51, 99) in keys
+        assert (50, 99) in keys
+
+    def test_no_pairs_without_contra(self):
+        assert analytical_pairs([self._subnet(contra_pivot=None)]) == []
+
+    def test_no_trace_entry_pair_for_mate_pivot(self):
+        """When positioning promoted v's mate, u is not on the ingress."""
+        subnet = self._subnet(trace_address=99, ingress=51, trace_entry=50)
+        keys = pair_keys(analytical_pairs([subnet]))
+        assert (50, 99) not in keys
+        assert (51, 99) in keys
+
+    def test_no_trace_entry_pair_off_path(self):
+        subnet = self._subnet(on_trace_path=False, ingress=None)
+        assert analytical_pairs([subnet]) == []
+
+    def test_alias_sets_close_transitively(self):
+        a = self._subnet()
+        b = self._subnet(pivot=200, members={99, 200}, contra_pivot=99,
+                         ingress=51, trace_entry=51, trace_address=200)
+        groups = alias_sets(analytical_pairs([a, b]))
+        assert any({50, 51, 99} <= group for group in groups)
+
+    def test_negative_pairs(self):
+        subnet = self._subnet(members={99, 100, 101})
+        negatives = negative_pairs([subnet])
+        assert (99, 100) in negatives
+        assert (100, 101) in negatives
+        assert all(a < b for a, b in negatives)
+
+    def test_negatives_never_intersect_truth(self):
+        engine, topo = chain(4)
+        tool = TraceNET(engine, "v")
+        tool.trace(address_on(topo, "R4", "R3"))
+        negatives = negative_pairs(tool.collected_subnets)
+        truth = ground_truth_pairs(topo)
+        assert not (negatives & truth)
+
+
+class TestAllyResolver:
+    def test_same_router_interfaces_are_aliases(self):
+        engine, topo = chain(4)
+        resolver = AllyResolver(Prober(engine, "v"))
+        a = address_on(topo, "R2", "R1")
+        b = address_on(topo, "R2", "R3")
+        result = resolver.are_aliases(a, b)
+        assert result.verdict == AliasVerdict.ALIASES
+
+    def test_different_routers_not_aliases(self):
+        engine, topo = chain(4)
+        resolver = AllyResolver(Prober(engine, "v"))
+        a = address_on(topo, "R2", "R1")
+        b = address_on(topo, "R3", "R4")
+        result = resolver.are_aliases(a, b)
+        assert result.verdict == AliasVerdict.NOT_ALIASES
+
+    def test_randomized_ids_inconclusive(self):
+        engine, topo = chain(4)
+        topo.routers["R2"].ip_id_mode = IpIdMode.RANDOM
+        resolver = AllyResolver(Prober(engine, "v"))
+        a = address_on(topo, "R2", "R1")
+        b = address_on(topo, "R2", "R3")
+        result = resolver.are_aliases(a, b)
+        assert result.verdict == AliasVerdict.UNKNOWN
+        assert "random" in result.reason
+
+    def test_unresponsive_address_unknown(self):
+        engine, topo = chain(3)
+        resolver = AllyResolver(Prober(engine, "v"))
+        result = resolver.are_aliases(address_on(topo, "R2", "R1"),
+                                      0x01010101)
+        assert result.verdict == AliasVerdict.UNKNOWN
+        assert result.ids.count(None) >= 1
+
+    def test_verify_pairs_counts_tests(self):
+        engine, topo = chain(4)
+        resolver = AllyResolver(Prober(engine, "v"))
+        pairs = [(address_on(topo, "R2", "R1"), address_on(topo, "R2", "R3"))]
+        results = resolver.verify_pairs(pairs)
+        assert len(results) == 1
+        assert resolver.tests_run == 1
+
+
+class TestEvaluation:
+    def test_ground_truth_pairs_restricted(self):
+        engine, topo = chain(3)
+        a = address_on(topo, "R2", "R1")
+        b = address_on(topo, "R2", "R3")
+        truth = ground_truth_pairs(topo, restrict_to=[a, b])
+        assert truth == {(min(a, b), max(a, b))}
+
+    def test_score_pairs(self):
+        truth = {(1, 2), (3, 4)}
+        accuracy = score_pairs([(2, 1), (5, 6)], truth)
+        assert accuracy.true_positives == 1
+        assert accuracy.false_positives == 1
+        assert accuracy.precision == 0.5
+        assert accuracy.recall == 0.5
+
+    def test_score_empty_inferred(self):
+        accuracy = score_pairs([], {(1, 2)})
+        assert accuracy.precision == 1.0
+        assert accuracy.recall == 0.0
+
+    def test_pairs_from_sets(self):
+        pairs = pairs_from_sets([{1, 2, 3}])
+        assert set(pairs) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_describe(self):
+        accuracy = score_pairs([(1, 2)], {(1, 2)})
+        assert "precision 100.0%" in accuracy.describe()
+
+
+class TestEndToEndAliasPipeline:
+    def test_internet2_pipeline_precision(self):
+        from repro.topogen import internet2
+        network = internet2.build(seed=21)
+        engine = Engine(network.topology, policy=network.policy)
+        tool = TraceNET(engine, "utdallas")
+        tool.trace_many(internet2.targets(network, seed=21)[:80])
+
+        pairs = pair_keys(analytical_pairs(tool.collected_subnets))
+        truth = ground_truth_pairs(network.topology)
+        accuracy = score_pairs(pairs, truth)
+        assert accuracy.precision >= 0.9
+
+        resolver = AllyResolver(Prober(engine, "utdallas"))
+        confirmed = [
+            (r.first, r.second)
+            for r in resolver.verify_pairs(sorted(pairs))
+            if r.verdict == AliasVerdict.ALIASES
+        ]
+        filtered = score_pairs(confirmed, truth)
+        assert filtered.precision >= accuracy.precision
+        assert filtered.true_positives > 0

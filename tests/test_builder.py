@@ -1,0 +1,137 @@
+"""Unit tests for the fluent builder and the prefix allocator."""
+
+import pytest
+
+from repro.netsim.addressing import AddressError, Prefix, parse_ip
+from repro.netsim.builder import PrefixAllocator, TopologyBuilder
+from repro.netsim.router import IndirectConfig
+from repro.netsim.topology import TopologyError
+
+
+class TestPrefixAllocator:
+    def test_sequential_allocation(self):
+        alloc = PrefixAllocator("10.0.0.0/24")
+        assert str(alloc.allocate(30)) == "10.0.0.0/30"
+        assert str(alloc.allocate(30)) == "10.0.0.4/30"
+
+    def test_alignment(self):
+        alloc = PrefixAllocator("10.0.0.0/24")
+        alloc.allocate(30)          # uses .0-.3
+        block = alloc.allocate(29)  # must align to .8
+        assert str(block) == "10.0.0.8/29"
+
+    def test_rejects_block_larger_than_base(self):
+        alloc = PrefixAllocator("10.0.0.0/24")
+        with pytest.raises(AddressError):
+            alloc.allocate(16)
+
+    def test_exhaustion(self):
+        alloc = PrefixAllocator("10.0.0.0/30")
+        alloc.allocate(31)
+        alloc.allocate(31)
+        with pytest.raises(AddressError):
+            alloc.allocate(31)
+
+    def test_remaining_decreases(self):
+        alloc = PrefixAllocator("10.0.0.0/24")
+        before = alloc.remaining
+        alloc.allocate(28)
+        assert alloc.remaining == before - 16
+
+    def test_accepts_prefix_object(self):
+        alloc = PrefixAllocator(Prefix.parse("10.1.0.0/16"))
+        assert str(alloc.allocate(24)) == "10.1.0.0/24"
+
+
+class TestBuilder:
+    def test_router_idempotent(self):
+        builder = TopologyBuilder()
+        a = builder.router("R1")
+        b = builder.router("R1")
+        assert a is b
+
+    def test_router_config_passthrough(self):
+        builder = TopologyBuilder()
+        router = builder.router("R1", indirect_config=IndirectConfig.DEFAULT)
+        assert router.indirect_config == IndirectConfig.DEFAULT
+
+    def test_link_allocates_slash30_by_default(self):
+        builder = TopologyBuilder()
+        subnet = builder.link("A", "B")
+        assert subnet.prefix.length == 30
+        assert len(subnet.interfaces) == 2
+
+    def test_link_slash31(self):
+        builder = TopologyBuilder()
+        subnet = builder.link("A", "B", length=31)
+        assert subnet.prefix.length == 31
+        assert sorted(subnet.addresses) == [subnet.prefix.network,
+                                            subnet.prefix.network + 1]
+
+    def test_link_rejects_wide_prefix(self):
+        builder = TopologyBuilder()
+        with pytest.raises(TopologyError):
+            builder.link("A", "B", prefix="10.0.0.0/29")
+
+    def test_link_explicit_prefix(self):
+        builder = TopologyBuilder()
+        subnet = builder.link("A", "B", prefix="172.16.0.0/30")
+        assert str(subnet.prefix) == "172.16.0.0/30"
+
+    def test_lan_sequence_members(self):
+        builder = TopologyBuilder()
+        subnet = builder.lan(["A", "B", "C"], length=29)
+        assert len(subnet.interfaces) == 3
+        assert subnet.router_ids == ["A", "B", "C"]
+
+    def test_lan_mapping_members(self):
+        builder = TopologyBuilder()
+        subnet = builder.lan({"A": "10.0.0.1", "B": "10.0.0.6"},
+                             prefix="10.0.0.0/29")
+        assert sorted(subnet.addresses) == [parse_ip("10.0.0.1"),
+                                            parse_ip("10.0.0.6")]
+
+    def test_edge_host_creates_stub(self):
+        builder = TopologyBuilder()
+        builder.link("A", "B")
+        host = builder.edge_host("v", "A")
+        topo = builder.build()
+        assert topo.hosts["v"] is host
+        assert host.gateway_router_id == "A"
+        # The stub subnet holds the gateway interface and the host.
+        stub = topo.subnets[host.subnet_id]
+        assert len(stub.interfaces) == 1
+
+    def test_build_validates(self):
+        builder = TopologyBuilder()
+        builder.router("lonely")
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_build_can_skip_validation(self):
+        builder = TopologyBuilder()
+        builder.router("lonely")
+        assert builder.build(validate=False) is builder.topology
+
+    def test_wrap_extends_existing_topology(self):
+        builder = TopologyBuilder()
+        builder.link("A", "B")
+        topo = builder.build()
+        wrapped = TopologyBuilder.wrap(topo, allocator=PrefixAllocator("192.168.0.0/24"))
+        wrapped.edge_host("v", "A")
+        assert "v" in topo.hosts
+
+    def test_wrap_subnet_ids_do_not_collide(self):
+        builder = TopologyBuilder()
+        builder.link("A", "B")
+        topo = builder.build()
+        before = set(topo.subnets)
+        wrapped = TopologyBuilder.wrap(topo, allocator=PrefixAllocator("192.168.0.0/24"))
+        wrapped.link("A", "C")
+        assert len(topo.subnets) == len(before) + 1
+
+    def test_attach_accepts_string_address(self):
+        builder = TopologyBuilder()
+        builder.subnet("10.0.0.0/29", subnet_id="lan")
+        builder.attach("A", "lan", "10.0.0.1")
+        assert builder.topology.interface_at(parse_ip("10.0.0.1")) is not None

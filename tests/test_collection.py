@@ -1,0 +1,62 @@
+"""Unit tests for trace-collection mode."""
+
+from conftest import address_on
+from repro.core.collection import HopKind, collect_hop
+from repro.netsim import Engine, IndirectConfig, TopologyBuilder
+from repro.probing import Prober
+
+
+def chain(n=4):
+    builder = TopologyBuilder("chain")
+    for i in range(1, n):
+        builder.link(f"R{i}", f"R{i+1}")
+    builder.edge_host("v", "R1")
+    topo = builder.build()
+    return Engine(topo), topo
+
+
+class TestCollectHop:
+    def test_router_hop(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R4", "R3")
+        observation = collect_hop(prober, dst, ttl=2)
+        assert observation.kind == HopKind.ROUTER
+        assert observation.address == address_on(topo, "R2", "R1")
+
+    def test_destination_hop(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R4", "R3")
+        observation = collect_hop(prober, dst, ttl=4)
+        assert observation.kind == HopKind.DESTINATION
+        assert observation.reached_destination
+        assert observation.address == dst
+
+    def test_anonymous_hop(self):
+        engine, topo = chain()
+        topo.routers["R2"].indirect_config = IndirectConfig.NIL
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R4", "R3")
+        observation = collect_hop(prober, dst, ttl=2)
+        assert observation.kind == HopKind.ANONYMOUS
+        assert observation.is_anonymous
+        assert observation.address is None
+
+    def test_unreachable_destination_is_anonymous(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        observation = collect_hop(prober, 0x01010101, ttl=9)
+        assert observation.kind == HopKind.ANONYMOUS
+
+    def test_flow_id_passthrough(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R4", "R3")
+        observation = collect_hop(prober, dst, ttl=2, flow_id=5)
+        assert observation.kind == HopKind.ROUTER
+        # A fresh flow id bypasses the cache, so a second identical call
+        # sends another probe.
+        sent_before = prober.stats.sent
+        collect_hop(prober, dst, ttl=2, flow_id=6)
+        assert prober.stats.sent > sent_before

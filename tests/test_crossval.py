@@ -1,0 +1,130 @@
+"""Unit tests for multi-vantage cross-validation (Figures 6-9 machinery)."""
+
+from repro.core.results import ObservedSubnet
+from repro.evaluation.crossval import (
+    VantageCollection,
+    agreement_rates,
+    ip_accounting,
+    pairwise_overlap,
+    prefix_length_histogram,
+    subnets_per_group,
+    venn_regions,
+)
+from repro.netsim import Prefix
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def observed(pivot, members, **kwargs):
+    return ObservedSubnet(pivot=pivot, pivot_distance=3,
+                          members=set(members), **kwargs)
+
+
+class TestVantageCollection:
+    def _collection(self):
+        return VantageCollection(
+            vantage="rice",
+            subnets=[
+                observed(2, {1, 2}),           # /31-ish pair
+                observed(9, {9}),              # un-subnetized
+                observed(21, {21, 22}),
+            ],
+            targets=[2, 9, 21],
+        )
+
+    def test_prefixes_exclude_singletons(self):
+        assert len(self._collection().prefixes) == 2
+
+    def test_subnetized_addresses(self):
+        assert self._collection().subnetized_addresses == {1, 2, 21, 22}
+
+    def test_unsubnetized_addresses(self):
+        assert self._collection().unsubnetized_addresses == {9}
+
+    def test_unsubnetized_excludes_placed_pivots(self):
+        collection = VantageCollection(
+            vantage="x",
+            subnets=[observed(2, {1, 2}), observed(2, {2})],
+        )
+        assert collection.unsubnetized_addresses == set()
+
+
+class TestVenn:
+    def _sets(self):
+        return {
+            "rice": {P("10.0.0.0/30"), P("10.0.0.4/30"), P("10.0.0.8/30")},
+            "umass": {P("10.0.0.0/30"), P("10.0.0.4/30")},
+            "uoregon": {P("10.0.0.0/30"), P("10.0.0.12/30")},
+        }
+
+    def test_regions_partition_universe(self):
+        regions = venn_regions(self._sets())
+        assert sum(regions.values()) == 4
+
+    def test_triple_region(self):
+        regions = venn_regions(self._sets())
+        assert regions[frozenset(["rice", "umass", "uoregon"])] == 1
+
+    def test_exclusive_pair_region(self):
+        regions = venn_regions(self._sets())
+        assert regions[frozenset(["rice", "umass"])] == 1
+
+    def test_unique_regions(self):
+        regions = venn_regions(self._sets())
+        assert regions[frozenset(["rice"])] == 1
+        assert regions[frozenset(["uoregon"])] == 1
+
+    def test_agreement_rates(self):
+        rates = agreement_rates(self._sets())
+        assert rates["rice"]["all"] == 1 / 3
+        assert rates["rice"]["shared"] == 2 / 3
+        assert rates["umass"]["all"] == 1 / 2
+        assert rates["umass"]["shared"] == 1.0
+
+    def test_agreement_rates_empty_set(self):
+        sets = {"a": set(), "b": {P("10.0.0.0/30")}}
+        rates = agreement_rates(sets)
+        assert rates["a"] == {"all": 0.0, "shared": 0.0}
+
+    def test_pairwise_overlap(self):
+        overlap = pairwise_overlap(self._sets())
+        assert overlap[frozenset(["rice", "umass"])] == 2
+        assert overlap[frozenset(["rice", "uoregon"])] == 1
+
+
+class TestAccounting:
+    def test_ip_accounting_by_group(self):
+        collection = VantageCollection(
+            vantage="rice",
+            subnets=[observed(2, {1, 2}), observed(100, {100})],
+            targets=[2, 100, 7],
+        )
+        group_of = lambda a: "isp-a" if a < 50 else "isp-b"
+        rows = ip_accounting(collection, group_of, ["isp-a", "isp-b"])
+        by_group = {row.group: row for row in rows}
+        assert by_group["isp-a"].targets == 2
+        assert by_group["isp-a"].subnetized == 2
+        assert by_group["isp-a"].unsubnetized == 0
+        assert by_group["isp-b"].targets == 1
+        assert by_group["isp-b"].unsubnetized == 1
+
+    def test_subnets_per_group(self):
+        collection = VantageCollection(
+            vantage="x",
+            subnets=[observed(2, {1, 2}), observed(101, {100, 101})],
+        )
+        group_of = lambda p: "low" if p.network < 50 else "high"
+        counts = subnets_per_group(collection, group_of, ["low", "high"])
+        assert counts == {"low": 1, "high": 1}
+
+    def test_prefix_length_histogram(self):
+        collection = VantageCollection(
+            vantage="x",
+            subnets=[observed(2, {1, 2}), observed(5, {5, 6}),
+                     observed(9, {9, 10, 11, 12})],
+        )
+        histogram = prefix_length_histogram(collection, lengths=range(28, 32))
+        assert sum(histogram.values()) == 3
+        assert histogram[31] + histogram[30] >= 2

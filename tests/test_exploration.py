@@ -1,0 +1,187 @@
+"""Unit tests for subnet exploration (Algorithm 1) and H1/H9."""
+
+import pytest
+
+from conftest import address_on
+from repro.core.exploration import explore_subnet, unpositioned_subnet
+from repro.core.positioning import position_subnet
+from repro.netsim import Engine, Prefix, ResponsePolicy, TopologyBuilder
+from repro.probing import Prober
+
+
+def explore_from(topo, policy, pivot_router, lan, hop, prev="R2"):
+    """Position and explore the subnet hosting pivot_router's LAN iface."""
+    engine = Engine(topo, policy=policy)
+    prober = Prober(engine, "v")
+    pivot = topo.routers[pivot_router].interface_on(lan.subnet_id).address
+    u = address_on(topo, prev, "R1")
+    position = position_subnet(prober, u, pivot, hop)
+    assert position is not None
+    return explore_subnet(prober, position), prober
+
+
+def lan_topology(length=29, members=("R2", "R3", "R4", "R6"), policy=None):
+    builder = TopologyBuilder("lan")
+    builder.link("R1", "R2")
+    lan = builder.lan(list(members), length=length)
+    builder.edge_host("v", "R1")
+    return builder.build(), lan
+
+
+class TestPointToPoint:
+    def _topo(self, length):
+        builder = TopologyBuilder("p2p")
+        builder.link("R1", "R2")
+        link = builder.link("R2", "R3", length=length)
+        builder.edge_host("v", "R1")
+        return builder.build(), link
+
+    @pytest.mark.parametrize("length", [30, 31])
+    def test_exact_collection(self, length):
+        topo, link = self._topo(length)
+        engine = Engine(topo)
+        prober = Prober(engine, "v")
+        pivot = topo.routers["R3"].interface_on(link.subnet_id).address
+        u = address_on(topo, "R2", "R1")
+        position = position_subnet(prober, u, pivot, 3)
+        subnet = explore_subnet(prober, position)
+        assert subnet.prefix == link.prefix
+        assert subnet.members == set(link.addresses)
+
+
+class TestMultiAccess:
+    def test_full_lan_collected(self):
+        topo, lan = lan_topology(length=29)
+        subnet, _ = explore_from(topo, None, "R4", lan, hop=3)
+        assert subnet.members == set(lan.addresses)
+        assert subnet.prefix == lan.prefix
+
+    def test_contra_pivot_identified(self):
+        topo, lan = lan_topology(length=29)
+        subnet, _ = explore_from(topo, None, "R4", lan, hop=3)
+        ingress_lan_iface = topo.routers["R2"].interface_on(lan.subnet_id).address
+        # The ingress-side interface is either recorded as contra-pivot or
+        # swallowed by the H5 mate shortcut; it must be a member regardless.
+        assert ingress_lan_iface in subnet.members
+        if subnet.contra_pivot is not None:
+            assert subnet.contra_pivot == ingress_lan_iface
+
+    def test_fringes_excluded(self):
+        builder = TopologyBuilder("fringe")
+        builder.link("R1", "R2")
+        lan = builder.lan(["R2", "R3", "R4", "R6"], length=29)
+        close = builder.link("R2", "R7")
+        far = builder.link("R4", "R5")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        subnet, _ = explore_from(topo, None, "R4", lan, hop=3)
+        assert subnet.members == set(lan.addresses)
+        for fringe in list(close.addresses) + list(far.addresses):
+            assert fringe not in subnet.members
+
+    def test_sparse_lan_underestimated(self):
+        """Half-utilization (lines 19-21) stops growth of sparse subnets."""
+        builder = TopologyBuilder("sparse")
+        builder.link("R1", "R2")
+        lan = builder.lan({"R2": "10.1.0.1", "R3": "10.1.0.2"},
+                          prefix="10.1.0.0/28")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        subnet, _ = explore_from(topo, None, "R3", lan, hop=3)
+        # Only 2 of 16 addresses in use: the observable subnet is /30.
+        assert subnet.prefix.length > 28
+        assert subnet.stop_reason == "under-utilized"
+
+    def test_scattered_sparse_lan_collects_pivot_only(self):
+        builder = TopologyBuilder("scatter")
+        builder.link("R1", "R2")
+        lan = builder.lan({"R2": "10.1.0.1", "R3": "10.1.0.9"},
+                          prefix="10.1.0.0/28")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        subnet, _ = explore_from(topo, None, "R3", lan, hop=3)
+        assert subnet.size <= 2
+        assert subnet.prefix.length >= 29
+
+    def test_partially_silent_lan_shrinks_to_responsive(self):
+        topo, lan = lan_topology(length=28,
+                                 members=("R2", "R3", "R4", "R6", "R7", "R8"))
+        policy = ResponsePolicy()
+        silent = sorted(lan.addresses)[-2:]
+        policy.silence_interfaces(silent)
+        subnet, _ = explore_from(topo, policy, "R4", lan, hop=3)
+        assert all(address not in subnet.members for address in silent)
+        assert subnet.prefix.length >= lan.prefix.length
+
+    def test_probe_accounting_recorded(self):
+        topo, lan = lan_topology()
+        subnet, prober = explore_from(topo, None, "R4", lan, hop=3)
+        assert subnet.probes_used > 0
+        assert subnet.probes_used <= prober.stats.sent
+
+
+class TestStopReasons:
+    def test_under_utilized_reason(self):
+        topo, lan = lan_topology(length=29, members=("R2", "R3", "R4"))
+        subnet, _ = explore_from(topo, None, "R3", lan, hop=3)
+        assert subnet.stop_reason in ("under-utilized", "prefix-floor")
+
+    def test_shrunk_reason_on_fringe(self):
+        builder = TopologyBuilder("shrink")
+        builder.link("R1", "R2")
+        # Fully utilized /30 whose sibling space holds a foreign subnet at
+        # equal distance: growth to /29 must stop-and-shrink.
+        link = builder.link("R2", "R3", prefix="10.1.0.0/30")
+        builder.lan({"R2": "10.1.0.5", "R7": "10.1.0.6"}, prefix="10.1.0.4/30")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        engine = Engine(topo)
+        prober = Prober(engine, "v")
+        pivot = topo.routers["R3"].interface_on(link.subnet_id).address
+        u = address_on(topo, "R2", "R1")
+        position = position_subnet(prober, u, pivot, 3)
+        subnet = explore_subnet(prober, position)
+        assert subnet.prefix == link.prefix
+        assert subnet.stop_reason.startswith("shrunk:")
+
+    def test_min_prefix_floor(self):
+        topo, lan = lan_topology(length=29)
+        engine = Engine(topo)
+        prober = Prober(engine, "v")
+        pivot = topo.routers["R4"].interface_on(lan.subnet_id).address
+        u = address_on(topo, "R2", "R1")
+        position = position_subnet(prober, u, pivot, 3)
+        subnet = explore_subnet(prober, position, min_prefix_length=30)
+        assert subnet.prefix.length >= 30
+
+
+class TestH1Shrink:
+    def test_false_positives_removed_on_shrink(self):
+        """Members admitted at a level that later stops must be dropped
+        back to the last intact prefix."""
+        builder = TopologyBuilder("h1")
+        builder.link("R1", "R2")
+        link = builder.link("R2", "R3", prefix="10.1.0.0/30")
+        builder.lan({"R2": "10.1.0.5", "R7": "10.1.0.6"}, prefix="10.1.0.4/30")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        engine = Engine(topo)
+        prober = Prober(engine, "v")
+        pivot = topo.routers["R3"].interface_on(link.subnet_id).address
+        u = address_on(topo, "R2", "R1")
+        position = position_subnet(prober, u, pivot, 3)
+        subnet = explore_subnet(prober, position)
+        for member in subnet.members:
+            assert member in link.prefix
+
+
+class TestH9Boundaries:
+    def test_unpositioned_subnet(self):
+        topo, lan = lan_topology()
+        engine = Engine(topo)
+        prober = Prober(engine, "v")
+        subnet = unpositioned_subnet(prober, 12345, 4)
+        assert subnet.size == 1
+        assert not subnet.positioned
+        assert subnet.prefix.length == 32
+        assert subnet.stop_reason == "unpositioned"

@@ -1,0 +1,195 @@
+"""Unit tests for the H2-H8 heuristics pipeline on Figure 3-style scenes."""
+
+import pytest
+
+from conftest import address_on
+from repro.core.heuristics import (
+    ExplorationState,
+    Verdict,
+    evaluate_candidate,
+    heuristic_h2,
+    heuristic_h5,
+)
+from repro.core.positioning import position_subnet
+from repro.netsim import Engine, TopologyBuilder
+from repro.netsim.addressing import mate30, mate31
+from repro.probing import Prober
+
+
+@pytest.fixture
+def scene():
+    """vantage - R1 - R2(ingress) - LAN/28 {R2,R3,R4,R6} with fringes.
+
+    R7 hangs off R2 (close fringe), R5 hangs off R4 (far fringe).
+    """
+    builder = TopologyBuilder("scene")
+    builder.link("R1", "R2")
+    lan = builder.lan(["R2", "R3", "R4", "R6"], length=28)
+    close = builder.link("R2", "R7")
+    far = builder.link("R4", "R5")
+    builder.edge_host("v", "R1")
+    topo = builder.build()
+    engine = Engine(topo)
+    prober = Prober(engine, "v")
+    pivot = topo.routers["R4"].interface_on(lan.subnet_id).address
+    u = address_on(topo, "R2", "R1")
+    position = position_subnet(prober, u, pivot, 3)
+    state = ExplorationState(
+        prober=prober,
+        pivot=position.pivot,
+        pivot_distance=position.pivot_distance,
+        ingress=position.ingress,
+        trace_entry=u,
+        on_trace_path=position.on_trace_path,
+    )
+    return {
+        "topo": topo, "engine": engine, "prober": prober, "state": state,
+        "lan": lan, "close": close, "far": far,
+    }
+
+
+class TestH2:
+    def test_member_at_pivot_distance_passes(self, scene):
+        member = scene["topo"].routers["R3"].interface_on(
+            scene["lan"].subnet_id).address
+        assert heuristic_h2(scene["state"], member) is None
+
+    def test_silent_address_skipped(self, scene):
+        unassigned = scene["lan"].prefix.broadcast - 1
+        assert scene["topo"].interface_at(unassigned) is None
+        judgement = heuristic_h2(scene["state"], unassigned)
+        assert judgement.verdict == Verdict.SKIP
+
+    def test_farther_address_stops(self, scene):
+        # R5's interface on the far stub is one hop beyond the LAN.
+        farther = address_on(scene["topo"], "R5", "R4")
+        judgement = heuristic_h2(scene["state"], farther)
+        assert judgement.verdict == Verdict.STOP
+        assert judgement.rule == "H2"
+
+
+class TestH5:
+    def test_mate31_of_pivot_added(self, scene):
+        state = scene["state"]
+        judgement = heuristic_h5(state, mate31(state.pivot))
+        assert judgement is not None
+        assert judgement.verdict == Verdict.ADD
+        assert judgement.rule == "H5"
+
+    def test_unrelated_address_not_claimed(self, scene):
+        state = scene["state"]
+        other = scene["topo"].routers["R6"].interface_on(
+            scene["lan"].subnet_id).address
+        if other in (mate31(state.pivot), mate30(state.pivot)):
+            pytest.skip("address happens to be the pivot's mate")
+        assert heuristic_h5(state, other) is None
+
+
+class TestPipeline:
+    def test_genuine_members_admitted(self, scene):
+        state = scene["state"]
+        for router_id in ("R3", "R6"):
+            member = scene["topo"].routers[router_id].interface_on(
+                scene["lan"].subnet_id).address
+            judgement = evaluate_candidate(state, member)
+            assert judgement.verdict in (Verdict.ADD, Verdict.ADD_CONTRA), (
+                router_id, judgement)
+
+    def test_contra_pivot_detected(self, scene):
+        state = scene["state"]
+        contra = scene["topo"].routers["R2"].interface_on(
+            scene["lan"].subnet_id).address
+        judgement = evaluate_candidate(state, contra)
+        assert judgement.verdict == Verdict.ADD_CONTRA
+
+    def test_second_contra_pivot_stops(self, scene):
+        state = scene["state"]
+        contra = scene["topo"].routers["R2"].interface_on(
+            scene["lan"].subnet_id).address
+        state.contra_pivot = contra
+        # The ingress router's *other* interfaces answer at jh-1 too.
+        ingress_fringe = address_on(scene["topo"], "R2", "R1")
+        judgement = evaluate_candidate(state, ingress_fringe)
+        assert judgement.verdict == Verdict.STOP
+        assert judgement.rule in ("H3", "H6", "H8")
+
+    def test_far_fringe_stopped(self, scene):
+        state = scene["state"]
+        far_fringe = address_on(scene["topo"], "R4", "R5")
+        # R4's interface on the far stub: alive at jh, enters via the
+        # ingress, but its mate (R5's side) is one hop past the LAN.
+        judgement = evaluate_candidate(state, far_fringe)
+        assert judgement.verdict == Verdict.STOP
+        assert judgement.rule == "H7"
+
+    def test_close_fringe_stopped(self, scene):
+        state = scene["state"]
+        # Seed the contra-pivot first, as exploration would have.
+        contra = scene["topo"].routers["R2"].interface_on(
+            scene["lan"].subnet_id).address
+        state.contra_pivot = contra
+        close_fringe = address_on(scene["topo"], "R7", "R2")
+        judgement = evaluate_candidate(state, close_fringe)
+        assert judgement.verdict == Verdict.STOP
+        assert judgement.rule in ("H7", "H8")
+
+    def test_candidate_beyond_subnet_stops_via_h2(self, scene):
+        state = scene["state"]
+        beyond = address_on(scene["topo"], "R5", "R4")
+        judgement = evaluate_candidate(state, beyond)
+        assert judgement.verdict == Verdict.STOP
+        assert judgement.rule == "H2"
+
+    def test_silent_candidate_skipped(self, scene):
+        state = scene["state"]
+        judgement = evaluate_candidate(state, scene["lan"].prefix.broadcast - 1)
+        assert judgement.verdict == Verdict.SKIP
+
+
+class TestH6ForeignEntry:
+    def test_equidistant_foreign_subnet_stopped(self):
+        """An address at the pivot's distance but behind a different
+        ingress router must be rejected by H6."""
+        builder = TopologyBuilder("h6")
+        builder.link("R1", "R2")
+        builder.link("R1", "R9")            # second branch
+        lan = builder.lan(["R2", "R3"], length=29)
+        foreign = builder.lan(["R9", "R8"], length=29)
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        engine = Engine(topo)
+        prober = Prober(engine, "v")
+        pivot = topo.routers["R3"].interface_on(lan.subnet_id).address
+        u = address_on(topo, "R2", "R1")
+        position = position_subnet(prober, u, pivot, 3)
+        state = ExplorationState(
+            prober=prober, pivot=position.pivot,
+            pivot_distance=position.pivot_distance,
+            ingress=position.ingress, trace_entry=u,
+            on_trace_path=position.on_trace_path,
+        )
+        # R8's interface on the foreign LAN is also at distance 3 but its
+        # probes enter through R9, not R2.
+        foreign_member = topo.routers["R8"].interface_on(
+            foreign.subnet_id).address
+        judgement = evaluate_candidate(state, foreign_member)
+        assert judgement.verdict == Verdict.STOP
+        assert judgement.rule in ("H6", "H7", "H8")
+
+
+class TestEntryAddresses:
+    def test_trace_entry_excluded_when_off_path(self):
+        state = ExplorationState(prober=None, pivot=1, pivot_distance=3,
+                                 ingress=100, trace_entry=200,
+                                 on_trace_path=False)
+        assert state.entry_addresses == {100}
+
+    def test_trace_entry_included_when_unknown(self):
+        state = ExplorationState(prober=None, pivot=1, pivot_distance=3,
+                                 ingress=100, trace_entry=200,
+                                 on_trace_path=None)
+        assert state.entry_addresses == {100, 200}
+
+    def test_empty_when_anonymous(self):
+        state = ExplorationState(prober=None, pivot=1, pivot_distance=3)
+        assert state.entry_addresses == set()

@@ -1,0 +1,204 @@
+"""End-to-end integration tests: the paper's experiments in miniature."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines import Traceroute
+from repro.core import TraceNET
+from repro.evaluation import (
+    Category,
+    VantageCollection,
+    agreement_rates,
+    annotate_unresponsive,
+    collected_prefixes,
+    match_subnets,
+    similarity_summary,
+    venn_regions,
+)
+from repro.netsim import Engine, LoadBalancer, LoadBalancingMode, Protocol
+from repro.topogen import build_internet, figures, geant, internet2
+
+
+@pytest.fixture(scope="module")
+def internet2_run():
+    network = internet2.build(seed=7)
+    engine = Engine(network.topology, policy=network.policy)
+    tool = TraceNET(engine, "utdallas")
+    tool.trace_many(internet2.targets(network, seed=7))
+    report = match_subnets(network.ground_truth,
+                           collected_prefixes(tool.collected_subnets))
+    annotate_unresponsive(report, network.records)
+    return network, tool, report
+
+
+class TestInternet2Experiment:
+    def test_exact_match_rate_matches_paper_shape(self, internet2_run):
+        _, _, report = internet2_run
+        # Paper: 73.7% including unresponsive subnets.
+        assert 0.65 <= report.exact_match_rate() <= 0.85
+
+    def test_exact_match_rate_excluding_unresponsive(self, internet2_run):
+        _, _, report = internet2_run
+        # Paper: 94.9% excluding unresponsive subnets.
+        assert report.exact_match_rate(exclude_unresponsive=True) >= 0.90
+
+    def test_similarities_match_paper_shape(self, internet2_run):
+        _, _, report = internet2_run
+        prefix_sim, size_sim = similarity_summary(report)
+        # Paper: 0.83 prefix / 0.86 size.
+        assert 0.75 <= prefix_sim <= 0.90
+        assert 0.75 <= size_sim <= 0.92
+
+    def test_point_to_point_links_dominate_exact_matches(self, internet2_run):
+        _, _, report = internet2_run
+        exact = report.by_category(Category.EXACT)
+        p2p = sum(1 for o in exact if o.original.length >= 30)
+        assert p2p / len(exact) > 0.75
+
+    def test_most_degradation_is_unresponsiveness(self, internet2_run):
+        _, _, report = internet2_run
+        degraded = (report.by_category(Category.MISS)
+                    + report.by_category(Category.UNDER))
+        unresponsive = [o for o in degraded if o.unresponsive]
+        assert len(unresponsive) >= len(degraded) / 2
+
+
+class TestGEANTExperiment:
+    @pytest.fixture(scope="class")
+    def geant_run(self):
+        network = geant.build(seed=7)
+        engine = Engine(network.topology, policy=network.policy)
+        tool = TraceNET(engine, "utdallas")
+        tool.trace_many(geant.targets(network, seed=7))
+        report = match_subnets(network.ground_truth,
+                               collected_prefixes(tool.collected_subnets))
+        annotate_unresponsive(report, network.records)
+        return report
+
+    def test_raw_rate_low_due_to_unresponsiveness(self, geant_run):
+        # Paper: 53.5% — GEANT is heavily firewalled, not badly measured.
+        assert 0.45 <= geant_run.exact_match_rate() <= 0.65
+
+    def test_observable_rate_high(self, geant_run):
+        # Paper: 97.3%.
+        assert geant_run.exact_match_rate(exclude_unresponsive=True) >= 0.92
+
+    def test_gap_between_rates_is_the_headline(self, geant_run):
+        gap = (geant_run.exact_match_rate(exclude_unresponsive=True)
+               - geant_run.exact_match_rate())
+        assert gap > 0.3
+
+
+class TestTracenetVsTraceroute:
+    def test_figure2_disjointness_conclusion(self):
+        """Figure 2: traceroute concludes P1 (A->D) and P3 (B->C) are link
+        disjoint; tracenet reveals the shared multi-access LAN."""
+        net = figures.figure2_network()
+        lan = net.topology.subnets[net.landmarks["shared_lan"]]
+        d = net.hosts["D"].address
+        c = net.hosts["C"].address
+
+        tr_a = Traceroute(net.engine(), "A").trace(d)
+        tr_b = Traceroute(net.engine(), "B").trace(c)
+        a_addrs = {a for a in tr_a.path_addresses if a is not None}
+        b_addrs = {a for a in tr_b.path_addresses if a is not None}
+        # Either trace may touch a LAN interface, but traceroute cannot
+        # see that both paths cross the same LAN.
+        shared_lan_view = (a_addrs & set(lan.addresses),
+                           b_addrs & set(lan.addresses))
+        assert not (shared_lan_view[0] and shared_lan_view[1]) or \
+            shared_lan_view[0] != shared_lan_view[1]
+
+        tn_a = TraceNET(net.engine(), "A").trace(d)
+        tn_b = TraceNET(net.engine(), "B").trace(c)
+        lan_prefix = lan.prefix
+        a_blocks = {s.prefix for s in tn_a.subnets}
+        b_blocks = {s.prefix for s in tn_b.subnets}
+        assert lan_prefix in a_blocks
+        assert lan_prefix in b_blocks
+
+    def test_tracenet_supersets_traceroute(self):
+        network = internet2.build(seed=11)
+        engine = Engine(network.topology, policy=network.policy)
+        targets = internet2.targets(network, seed=11)[:20]
+        tracenet_tool = TraceNET(engine, "utdallas")
+        traceroute_tool = Traceroute(
+            Engine(network.topology, policy=network.policy), "utdallas",
+            vary_flow=False)
+        tracenet_addresses = set()
+        traceroute_addresses = set()
+        for target in targets:
+            tracenet_addresses |= tracenet_tool.trace(target).addresses
+            traceroute_addresses |= {
+                a for a in traceroute_tool.trace(target).path_addresses
+                if a is not None}
+        assert traceroute_addresses <= tracenet_addresses
+        assert len(tracenet_addresses) > 1.5 * len(traceroute_addresses)
+
+
+class TestPathFluctuations:
+    def test_tracenet_stable_under_per_flow_ecmp(self):
+        """Section 3.7: tracenet rests on the stable-ingress concept, so a
+        per-flow balancer upstream does not change the collected subnet."""
+        from repro.netsim import TopologyBuilder
+        builder = TopologyBuilder("ecmp")
+        builder.link("A", "B1")
+        builder.link("A", "B2")
+        builder.link("B1", "C")
+        builder.link("B2", "C")
+        lan = builder.lan(["C", "D", "E"], length=29)
+        builder.edge_host("v", "A")
+        topo = builder.build()
+        target = topo.routers["E"].interface_on(lan.subnet_id).address
+
+        collected = []
+        for seed in range(3):
+            engine = Engine(
+                topo,
+                balancer=LoadBalancer(LoadBalancingMode.PER_FLOW, seed=seed))
+            tool = TraceNET(engine, "v")
+            result = tool.trace(target)
+            subnet = result.subnet_for(target)
+            assert subnet is not None
+            collected.append((subnet.prefix, frozenset(subnet.members)))
+        assert len(set(collected)) == 1
+
+
+@pytest.mark.slow
+class TestMultiVantage:
+    def test_cross_validation_agreement_shape(self):
+        internet = build_internet(seed=42, scale=0.25)
+        targets = [t for group in internet.targets(seed=1, per_isp=40).values()
+                   for t in group]
+        prefix_sets = {}
+        for site in internet.vantages:
+            engine = Engine(internet.topology, policy=internet.policy)
+            tool = TraceNET(engine, site)
+            tool.trace_many(targets)
+            prefix_sets[site] = VantageCollection(
+                vantage=site, subnets=tool.collected_subnets).prefixes
+        regions = venn_regions(prefix_sets)
+        assert sum(regions.values()) > 50
+        rates = agreement_rates(prefix_sets)
+        for site, rate in rates.items():
+            # Paper: ~60% seen by all three, ~80% by at least one other.
+            assert rate["all"] >= 0.4, (site, rate)
+            assert rate["shared"] >= 0.6, (site, rate)
+            assert rate["shared"] >= rate["all"]
+
+    def test_protocol_ordering(self):
+        internet = build_internet(seed=42, scale=0.2)
+        targets = [t for group in internet.targets(seed=3, per_isp=25).values()
+                   for t in group]
+        counts = {}
+        for protocol in (Protocol.ICMP, Protocol.UDP, Protocol.TCP):
+            engine = Engine(internet.topology, policy=internet.policy)
+            tool = TraceNET(engine, "rice", protocol=protocol)
+            tool.trace_many(targets)
+            counts[protocol] = sum(1 for s in tool.collected_subnets
+                                   if s.size >= 2)
+        # Table 3's ordering: ICMP >> UDP >> TCP (TCP nearly nothing).
+        assert counts[Protocol.ICMP] > counts[Protocol.UDP]
+        assert counts[Protocol.UDP] > counts[Protocol.TCP]

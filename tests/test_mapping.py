@@ -1,0 +1,258 @@
+"""Unit tests for the mapping layer: store, merge, graph."""
+
+import io
+
+import pytest
+
+from repro.core import TraceNET
+from repro.core.results import ObservedSubnet, TraceHop, TraceResult
+from repro.mapping import (
+    CollectionArchive,
+    TopologyMap,
+    annotate_same_lan,
+    archive_from_tool,
+    confirmed,
+    coverage,
+    load_archive,
+    map_from_collections,
+    merge_collections,
+    render_adjacency,
+    save_archive,
+    subnet_from_dict,
+    subnet_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.netsim import Engine, Prefix, TopologyBuilder
+from repro.netsim.addressing import parse_ip
+
+
+def observed(pivot, members, vantage_extras=None, **kwargs):
+    return ObservedSubnet(pivot=parse_ip(pivot),
+                          pivot_distance=kwargs.pop("pivot_distance", 3),
+                          members={parse_ip(m) for m in members},
+                          **kwargs)
+
+
+class TestStore:
+    def _subnet(self):
+        return observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"],
+                        contra_pivot=parse_ip("10.0.0.1"),
+                        ingress=parse_ip("10.1.0.1"),
+                        on_trace_path=True,
+                        stop_reason="under-utilized",
+                        probes_used=9,
+                        prefix_length=30)
+
+    def test_subnet_roundtrip(self):
+        original = self._subnet()
+        rebuilt = subnet_from_dict(subnet_to_dict(original))
+        assert rebuilt.prefix == original.prefix
+        assert rebuilt.members == original.members
+        assert rebuilt.contra_pivot == original.contra_pivot
+        assert rebuilt.ingress == original.ingress
+        assert rebuilt.on_trace_path is True
+        assert rebuilt.stop_reason == "under-utilized"
+        assert rebuilt.probes_used == 9
+
+    def test_trace_roundtrip_with_subnet_refs(self):
+        subnet = self._subnet()
+        trace = TraceResult(vantage_host_id="v",
+                            destination=parse_ip("10.0.0.2"), reached=True)
+        trace.hops.append(TraceHop(ttl=1, address=parse_ip("10.0.0.2"),
+                                   subnet=subnet, is_destination=True))
+        payload = trace_to_dict(trace)
+        index = {str(subnet.prefix): subnet}
+        rebuilt = trace_from_dict(payload, index)
+        assert rebuilt.reached
+        assert rebuilt.hops[0].subnet is subnet
+
+    def test_archive_roundtrip_via_file_object(self):
+        subnet = self._subnet()
+        archive = CollectionArchive(vantage="rice", subnets=[subnet],
+                                    metadata={"seed": 7})
+        buffer = io.StringIO()
+        save_archive(buffer, archive)
+        buffer.seek(0)
+        loaded = load_archive(buffer)
+        assert loaded.vantage == "rice"
+        assert loaded.metadata == {"seed": 7}
+        assert loaded.subnets[0].prefix == subnet.prefix
+
+    def test_archive_roundtrip_via_path(self, tmp_path):
+        archive = CollectionArchive(vantage="x", subnets=[self._subnet()])
+        path = str(tmp_path / "collection.json")
+        save_archive(path, archive)
+        loaded = load_archive(path)
+        assert loaded.subnets[0].members == self._subnet().members
+
+    def test_unsupported_version_rejected(self):
+        from repro.mapping import archive_from_dict
+        with pytest.raises(ValueError):
+            archive_from_dict({"format_version": 99, "vantage": "x"})
+
+    def test_archive_from_tool(self):
+        builder = TopologyBuilder()
+        stub = builder.link("R1", "R2")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(max(stub.addresses))
+        archive = archive_from_tool(tool, traces=[result], seed=1)
+        assert archive.vantage == "v"
+        assert archive.subnets
+        assert archive.metadata == {"seed": 1}
+
+
+class TestMerge:
+    def test_identical_observations_merge(self):
+        a = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        b = observed("10.0.0.1", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        merged = merge_collections({"rice": [a], "umass": [b]})
+        assert len(merged) == 1
+        assert merged[0].confirmation == 2
+        assert merged[0].observers == {"rice", "umass"}
+
+    def test_majority_block_wins(self):
+        small = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        small2 = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        big = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2", "10.0.0.5"],
+                       prefix_length=29)
+        merged = merge_collections({"a": [small], "b": [small2], "c": [big]})
+        assert len(merged) == 1
+        assert merged[0].prefix == Prefix.parse("10.0.0.0/30")
+
+    def test_tie_breaks_toward_larger_block(self):
+        small = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        big = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2", "10.0.0.5"],
+                       prefix_length=29)
+        merged = merge_collections({"a": [small], "b": [big]})
+        assert merged[0].prefix == Prefix.parse("10.0.0.0/29")
+        assert parse_ip("10.0.0.5") in merged[0].members
+
+    def test_disjoint_blocks_stay_separate(self):
+        a = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        b = observed("10.0.1.2", ["10.0.1.1", "10.0.1.2"], prefix_length=30)
+        merged = merge_collections({"x": [a, b]})
+        assert len(merged) == 2
+
+    def test_singletons_excluded_by_default(self):
+        single = observed("10.0.0.9", ["10.0.0.9"])
+        merged = merge_collections({"x": [single]})
+        assert merged == []
+
+    def test_coverage_and_confirmed(self):
+        a = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        b = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"], prefix_length=30)
+        c = observed("10.0.1.2", ["10.0.1.1", "10.0.1.2"], prefix_length=30)
+        merged = merge_collections({"r": [a, c], "u": [b]})
+        assert len(coverage(merged)) == 4
+        assert len(confirmed(merged, minimum_observers=2)) == 1
+
+    def test_members_outside_consensus_block_dropped(self):
+        wide = observed("10.0.0.2",
+                        ["10.0.0.1", "10.0.0.2", "10.0.0.9"],
+                        prefix_length=28)
+        narrow1 = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"],
+                           prefix_length=30)
+        narrow2 = observed("10.0.0.2", ["10.0.0.1", "10.0.0.2"],
+                           prefix_length=30)
+        merged = merge_collections({"a": [wide], "b": [narrow1],
+                                    "c": [narrow2]})
+        assert merged[0].prefix == Prefix.parse("10.0.0.0/30")
+        assert parse_ip("10.0.0.9") not in merged[0].members
+
+
+class TestTopologyMap:
+    def _map(self):
+        lan = observed("10.0.0.10",
+                       ["10.0.0.9", "10.0.0.10", "10.0.0.11"],
+                       prefix_length=29)
+        link = observed("10.0.1.2", ["10.0.1.1", "10.0.1.2"],
+                        prefix_length=30)
+        merged = merge_collections({"v": [lan, link]})
+        trace = TraceResult(vantage_host_id="v",
+                            destination=parse_ip("10.0.1.2"), reached=True)
+        trace.hops = [
+            TraceHop(ttl=1, address=parse_ip("10.0.0.9")),
+            TraceHop(ttl=2, address=parse_ip("10.0.1.2"),
+                     is_destination=True),
+        ]
+        return TopologyMap.build(merged, [trace])
+
+    def test_edge_from_trace(self):
+        topo_map = self._map()
+        assert len(topo_map.edges) == 1
+        a, b = topo_map.edges[0]
+        assert {str(a), str(b)} == {"10.0.0.8/29", "10.0.1.0/30"}
+
+    def test_neighbors_and_degree(self):
+        topo_map = self._map()
+        lan = Prefix.parse("10.0.0.8/29")
+        assert topo_map.degree(lan) == 1
+        assert topo_map.neighbors(lan) == [Prefix.parse("10.0.1.0/30")]
+
+    def test_subnet_of_member_and_block(self):
+        topo_map = self._map()
+        by_member = topo_map.subnet_of(parse_ip("10.0.0.9"))
+        by_block = topo_map.subnet_of(parse_ip("10.0.0.12"))
+        assert by_member is not None
+        assert by_block is not None and by_block.prefix == by_member.prefix
+
+    def test_path_analysis(self):
+        topo_map = self._map()
+        path_a = [parse_ip("10.0.0.9"), parse_ip("10.0.1.2")]
+        path_b = [parse_ip("10.0.0.11")]
+        assert not topo_map.link_disjoint(path_a, path_b)
+        assert topo_map.link_disjoint([parse_ip("10.0.1.1")], path_b)
+
+    def test_dot_export(self):
+        text = self._map().to_dot()
+        assert text.startswith("graph")
+        assert '"10.0.0.8/29" -- "10.0.1.0/30"' in text
+
+    def test_edge_list_export(self):
+        lines = self._map().to_edge_list()
+        assert lines == ["10.0.0.8/29 10.0.1.0/30"]
+
+    def test_annotate_same_lan(self):
+        topo_map = self._map()
+        notes = annotate_same_lan(topo_map, [parse_ip("10.0.0.9"),
+                                             parse_ip("10.0.0.10"),
+                                             parse_ip("99.0.0.1")])
+        assert notes[parse_ip("10.0.0.9")] == notes[parse_ip("10.0.0.10")]
+        assert notes[parse_ip("99.0.0.1")] is None
+
+    def test_render_adjacency(self):
+        text = render_adjacency(self._map())
+        assert "10.0.0.8/29" in text
+
+    def test_summary_and_describe(self):
+        topo_map = self._map()
+        assert "2 subnets" in topo_map.summary()
+        assert "1 links" in topo_map.summary()
+        assert topo_map.describe().count("\n") >= 2
+
+
+class TestEndToEndMapping:
+    def test_map_from_real_collections(self):
+        """Collect with tracenet from two vantages, merge, build the map,
+        and answer the Figure 2 question through the public API."""
+        from repro.topogen import figures
+        net = figures.figure2_network()
+        lan = net.topology.subnets[net.landmarks["shared_lan"]]
+
+        collections = {}
+        traces = []
+        for vantage, destination in (("A", net.hosts["D"].address),
+                                     ("B", net.hosts["C"].address)):
+            tool = TraceNET(net.engine(), vantage)
+            traces.append(tool.trace(destination))
+            collections[vantage] = tool.collected_subnets
+        topo_map = map_from_collections(collections, traces)
+
+        path_a = [a for a in traces[0].path_addresses if a is not None]
+        path_b = [a for a in traces[1].path_addresses if a is not None]
+        assert not topo_map.link_disjoint(path_a, path_b)
+        shared = topo_map.shared_subnets(path_a, path_b)
+        assert lan.prefix in {s.prefix for s in shared}

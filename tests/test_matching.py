@@ -1,0 +1,134 @@
+"""Unit tests for ground-truth matching/classification (Tables 1-2 logic)."""
+
+from repro.evaluation.matching import (
+    Category,
+    annotate_unresponsive,
+    collected_prefixes,
+    match_subnets,
+)
+from repro.netsim import Prefix
+from repro.topogen.spec import SubnetRecord
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestCategories:
+    def test_exact(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.0.0.0/30")])
+        assert report.outcomes[0].category == Category.EXACT
+
+    def test_miss(self):
+        report = match_subnets([P("10.0.0.0/30")], [])
+        assert report.outcomes[0].category == Category.MISS
+
+    def test_miss_when_no_overlap(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.0.1.0/30")])
+        assert report.outcomes[0].category == Category.MISS
+        assert report.extras == [P("10.0.1.0/30")]
+
+    def test_under(self):
+        report = match_subnets([P("10.0.0.0/28")], [P("10.0.0.0/30")])
+        outcome = report.outcomes[0]
+        assert outcome.category == Category.UNDER
+        assert outcome.best_collected == P("10.0.0.0/30")
+
+    def test_split(self):
+        report = match_subnets([P("10.0.0.0/28")],
+                               [P("10.0.0.0/30"), P("10.0.0.8/30")])
+        assert report.outcomes[0].category == Category.SPLIT
+
+    def test_over_single_original(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.0.0.0/29")])
+        assert report.outcomes[0].category == Category.OVER
+
+    def test_merged_two_originals(self):
+        report = match_subnets([P("10.0.0.0/30"), P("10.0.0.4/30")],
+                               [P("10.0.0.0/29")])
+        assert all(o.category == Category.MERGED for o in report.outcomes)
+
+    def test_sab_rule_exact_plus_over(self):
+        """Paper: when Sa is collected exactly AND Sab is also collected,
+        Sa is exact and Sb is overestimated."""
+        report = match_subnets(
+            [P("10.0.0.0/30"), P("10.0.0.4/30")],
+            [P("10.0.0.0/30"), P("10.0.0.0/29")],
+        )
+        by_original = {o.original: o.category for o in report.outcomes}
+        assert by_original[P("10.0.0.0/30")] == Category.EXACT
+        assert by_original[P("10.0.0.4/30")] == Category.OVER
+
+    def test_slash32_collected_ignored(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.0.0.1/32")])
+        assert report.outcomes[0].category == Category.MISS
+
+    def test_duplicate_collected_blocks_deduplicated(self):
+        report = match_subnets([P("10.0.0.0/30")],
+                               [P("10.0.0.0/30"), P("10.0.0.0/30")])
+        assert report.outcomes[0].category == Category.EXACT
+
+
+class TestReportAggregation:
+    def _report(self):
+        original = [P("10.0.0.0/30"), P("10.0.0.4/30"), P("10.0.0.16/28"),
+                    P("10.0.1.0/29")]
+        collected = [P("10.0.0.0/30"), P("10.0.0.16/30")]
+        return match_subnets(original, collected)
+
+    def test_counts(self):
+        report = self._report()
+        assert report.count(Category.EXACT) == 1
+        assert report.count(Category.MISS) == 2
+        assert report.count(Category.UNDER) == 1
+
+    def test_exact_match_rate(self):
+        report = self._report()
+        assert report.exact_match_rate() == 0.25
+
+    def test_exact_match_rate_excluding_unresponsive(self):
+        report = self._report()
+        records = [SubnetRecord(subnet_id="x", prefix=P("10.0.0.4/30"),
+                                kind="p2p", firewalled=True)]
+        annotate_unresponsive(report, records)
+        assert report.exact_match_rate(exclude_unresponsive=True) == 1 / 3
+
+    def test_distribution_rows_sum(self):
+        report = self._report()
+        rows = report.distribution_rows()
+        assert sum(rows["orgl"].values()) == 4
+        categories_total = sum(
+            sum(rows[name].values())
+            for name in ("exmt", "miss", "miss\\unrs", "undes", "undes\\unrs",
+                         "ovres", "splt", "merg")
+        )
+        assert categories_total == 4
+
+    def test_annotate_unresponsive_splits_rows(self):
+        report = self._report()
+        records = [
+            SubnetRecord(subnet_id="a", prefix=P("10.0.0.4/30"), kind="p2p",
+                         firewalled=True),
+            SubnetRecord(subnet_id="b", prefix=P("10.0.0.16/28"), kind="lan",
+                         partially_silent=True, silent_addresses=[1]),
+        ]
+        annotate_unresponsive(report, records)
+        rows = report.distribution_rows()
+        assert rows["miss\\unrs"][30] == 1
+        assert rows["undes\\unrs"][28] == 1
+
+    def test_annotation_never_marks_exact(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.0.0.0/30")])
+        records = [SubnetRecord(subnet_id="a", prefix=P("10.0.0.0/30"),
+                                kind="p2p", firewalled=True)]
+        annotate_unresponsive(report, records)
+        assert not report.outcomes[0].unresponsive
+
+
+class TestCollectedPrefixes:
+    def test_filters_singletons(self):
+        from repro.core.results import ObservedSubnet
+        multi = ObservedSubnet(pivot=2, pivot_distance=1, members={1, 2})
+        single = ObservedSubnet(pivot=9, pivot_distance=1, members={9})
+        blocks = collected_prefixes([multi, single])
+        assert len(blocks) == 1

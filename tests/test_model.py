@@ -1,0 +1,142 @@
+"""Unit tests for the node model: Interface, Router, Subnet."""
+
+import pytest
+
+from repro.netsim.addressing import Prefix, parse_ip
+from repro.netsim.iface import Interface
+from repro.netsim.router import DirectConfig, IndirectConfig, Router
+from repro.netsim.subnet import Subnet
+
+
+def make_iface(addr="10.0.0.1", router="R1", subnet="s1"):
+    return Interface(address=parse_ip(addr), router_id=router, subnet_id=subnet)
+
+
+class TestInterface:
+    def test_ip_text(self):
+        assert make_iface("10.0.0.9").ip_text == "10.0.0.9"
+
+    def test_str_includes_router(self):
+        assert "R1" in str(make_iface())
+
+    def test_frozen(self):
+        iface = make_iface()
+        with pytest.raises(AttributeError):
+            iface.address = 5
+
+
+class TestRouter:
+    def test_attach_and_lookup(self):
+        router = Router("R1")
+        iface = make_iface()
+        router.attach(iface)
+        assert router.owns(iface.address)
+        assert router.interface_for(iface.address) is iface
+
+    def test_attach_rejects_foreign_interface(self):
+        router = Router("R1")
+        with pytest.raises(ValueError):
+            router.attach(make_iface(router="R2"))
+
+    def test_attach_rejects_duplicate_address(self):
+        router = Router("R1")
+        router.attach(make_iface())
+        with pytest.raises(ValueError):
+            router.attach(make_iface(subnet="s2"))
+
+    def test_interfaces_and_addresses(self):
+        router = Router("R1")
+        router.attach(make_iface("10.0.0.1", subnet="s1"))
+        router.attach(make_iface("10.0.1.1", subnet="s2"))
+        assert len(router.interfaces) == 2
+        assert sorted(router.addresses) == [parse_ip("10.0.0.1"), parse_ip("10.0.1.1")]
+        assert set(router.subnet_ids) == {"s1", "s2"}
+
+    def test_interface_on(self):
+        router = Router("R1")
+        router.attach(make_iface("10.0.0.1", subnet="s1"))
+        assert router.interface_on("s1").address == parse_ip("10.0.0.1")
+        assert router.interface_on("missing") is None
+
+    def test_default_configs(self):
+        router = Router("R1")
+        assert router.indirect_config == IndirectConfig.INCOMING
+        assert router.direct_config == DirectConfig.PROBED
+
+    def test_report_address_default_is_lowest(self):
+        router = Router("R1")
+        router.attach(make_iface("10.0.0.9", subnet="s1"))
+        router.attach(make_iface("10.0.0.5", subnet="s2"))
+        assert router.report_address() == parse_ip("10.0.0.5")
+
+    def test_report_address_explicit(self):
+        router = Router("R1", default_address=parse_ip("1.1.1.1"))
+        assert router.report_address() == parse_ip("1.1.1.1")
+
+    def test_report_address_no_interfaces(self):
+        assert Router("R1").report_address() is None
+
+    def test_owns_false_for_unknown(self):
+        assert not Router("R1").owns(parse_ip("10.0.0.1"))
+
+
+class TestSubnet:
+    def _subnet(self, prefix="10.0.0.0/29"):
+        return Subnet(subnet_id="s1", prefix=Prefix.parse(prefix))
+
+    def test_attach_and_lookup(self):
+        subnet = self._subnet()
+        iface = make_iface("10.0.0.1")
+        subnet.attach(iface)
+        assert subnet.owns(iface.address)
+        assert subnet.interface_for(iface.address) is iface
+
+    def test_attach_rejects_wrong_subnet_id(self):
+        subnet = self._subnet()
+        with pytest.raises(ValueError):
+            subnet.attach(make_iface(subnet="other"))
+
+    def test_attach_rejects_address_outside_block(self):
+        subnet = self._subnet()
+        with pytest.raises(ValueError):
+            subnet.attach(make_iface("10.0.0.9"))
+
+    def test_attach_rejects_network_address(self):
+        subnet = self._subnet()
+        with pytest.raises(ValueError):
+            subnet.attach(make_iface("10.0.0.0"))
+
+    def test_attach_rejects_broadcast_address(self):
+        subnet = self._subnet()
+        with pytest.raises(ValueError):
+            subnet.attach(make_iface("10.0.0.7"))
+
+    def test_slash31_boundary_addresses_allowed(self):
+        subnet = Subnet(subnet_id="s1", prefix=Prefix.parse("10.0.0.0/31"))
+        subnet.attach(make_iface("10.0.0.0"))
+        subnet.attach(make_iface("10.0.0.1", router="R2"))
+        assert len(subnet.interfaces) == 2
+
+    def test_attach_rejects_duplicate(self):
+        subnet = self._subnet()
+        subnet.attach(make_iface("10.0.0.1"))
+        with pytest.raises(ValueError):
+            subnet.attach(make_iface("10.0.0.1", router="R2"))
+
+    def test_router_ids_deduplicated(self):
+        subnet = self._subnet()
+        subnet.attach(make_iface("10.0.0.1", router="R1"))
+        subnet.attach(make_iface("10.0.0.2", router="R2"))
+        subnet.attach(make_iface("10.0.0.3", router="R1"))
+        assert subnet.router_ids == ["R1", "R2"]
+
+    def test_point_to_point_flag(self):
+        assert Subnet("s", Prefix.parse("10.0.0.0/30")).is_point_to_point
+        assert Subnet("s", Prefix.parse("10.0.0.0/31")).is_point_to_point
+        assert not Subnet("s", Prefix.parse("10.0.0.0/29")).is_point_to_point
+
+    def test_utilization(self):
+        subnet = self._subnet()
+        subnet.attach(make_iface("10.0.0.1"))
+        subnet.attach(make_iface("10.0.0.2", router="R2"))
+        assert subnet.utilization == pytest.approx(2 / 8)

@@ -1,0 +1,145 @@
+"""Unit tests for subnet positioning (Algorithm 2)."""
+
+from conftest import address_on
+from repro.core.positioning import position_subnet
+from repro.netsim import Engine, TopologyBuilder
+from repro.netsim.addressing import mate31
+from repro.netsim.router import IndirectConfig
+from repro.probing import Prober
+
+
+def chain(n=5):
+    builder = TopologyBuilder("chain")
+    for i in range(1, n):
+        builder.link(f"R{i}", f"R{i+1}")
+    builder.edge_host("v", "R1")
+    topo = builder.build()
+    return Engine(topo), topo
+
+
+class TestOnPath:
+    def test_incoming_interface_pivot_is_v(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        u = address_on(topo, "R2", "R1")   # hop 2 report
+        v = address_on(topo, "R3", "R2")   # hop 3 report
+        position = position_subnet(prober, u, v, 3)
+        assert position is not None
+        assert position.pivot == v
+        assert position.pivot_distance == 3
+        assert position.on_trace_path is True
+
+    def test_ingress_is_previous_hop(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        u = address_on(topo, "R2", "R1")
+        v = address_on(topo, "R3", "R2")
+        position = position_subnet(prober, u, v, 3)
+        assert position.ingress == u
+        assert position.trace_entry == u
+        assert position.entry_addresses == {u}
+
+    def test_first_hop_trivially_on_path(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        # Hop 1 reports R1's interface on the vantage stub.
+        host = topo.hosts["v"]
+        v = topo.routers["R1"].interface_on(host.subnet_id).address
+        position = position_subnet(prober, None, v, 1)
+        assert position is not None
+        assert position.on_trace_path is True
+        # The stub's far side (the vantage host itself) is the pivot: it
+        # sits one hop beyond the gateway interface.
+        from repro.netsim.addressing import mate30
+        assert position.pivot in (v, mate31(v), mate30(v))
+
+    def test_anonymous_previous_hop_gives_unknown_path(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        v = address_on(topo, "R3", "R2")
+        position = position_subnet(prober, None, v, 3)
+        assert position is not None
+        assert position.on_trace_path is None
+
+
+class TestMatePivot:
+    def _default_reporting_southern_interface(self):
+        """R3 reports its interface on a stub link whose far side (R5) is
+        one hop beyond — the Figure 4 'R3 returns R3.s' scene."""
+        builder = TopologyBuilder("fig4")
+        builder.link("R1", "R2")
+        builder.link("R2", "R3")
+        builder.link("R3", "R4")
+        south = builder.link("R3", "R5", length=31)
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        r3_south = topo.routers["R3"].interface_on(south.subnet_id).address
+        topo.routers["R3"].indirect_config = IndirectConfig.DEFAULT
+        topo.routers["R3"].default_address = r3_south
+        return Engine(topo), topo, south, r3_south
+
+    def test_pivot_is_mate31_of_reported_interface(self):
+        engine, topo, south, r3_south = self._default_reporting_southern_interface()
+        prober = Prober(engine, "v")
+        u = address_on(topo, "R2", "R1")
+        position = position_subnet(prober, u, r3_south, 3)
+        assert position is not None
+        assert position.pivot == mate31(r3_south)
+        assert position.pivot_distance == 4
+
+    def test_ingress_of_mate_pivot_is_reporting_router(self):
+        engine, topo, south, r3_south = self._default_reporting_southern_interface()
+        prober = Prober(engine, "v")
+        u = address_on(topo, "R2", "R1")
+        position = position_subnet(prober, u, r3_south, 3)
+        # A probe to the pivot expiring one hop short lands on R3, which
+        # reports its default (southern) address.
+        assert position.ingress == r3_south
+
+
+class TestOffPath:
+    def test_distance_mismatch_marks_off_path(self):
+        builder = TopologyBuilder("triangle")
+        builder.link("R1", "R2")
+        side = builder.link("R2", "R3")
+        builder.link("R1", "R3")
+        builder.link("R3", "R4")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        engine = Engine(topo)
+        r3_side = topo.routers["R3"].interface_on(side.subnet_id).address
+        # Ground truth: that interface is 3 hops away (via R2)...
+        assert engine.hop_distance("v", r3_side) == 3
+        prober = Prober(engine, "v")
+        # ...but R3 surfaced at hop 2 on the trace (via the direct link).
+        position = position_subnet(prober, None, r3_side, 2)
+        assert position is not None
+        assert position.on_trace_path is False
+
+    def test_foreign_entry_marks_off_path(self):
+        builder = TopologyBuilder("split-entry")
+        builder.link("R1", "R2")
+        builder.link("R1", "R4")
+        builder.link("R2", "R3")
+        back = builder.link("R4", "R3")
+        builder.link("R3", "R6")
+        builder.edge_host("v", "R1")
+        topo = builder.build()
+        r3_back = topo.routers["R3"].interface_on(back.subnet_id).address
+        topo.routers["R3"].indirect_config = IndirectConfig.DEFAULT
+        topo.routers["R3"].default_address = r3_back
+        engine = Engine(topo)
+        prober = Prober(engine, "v")
+        u = address_on(topo, "R2", "R1")
+        # The trace ran via R2 (u), but probes to R3's back interface enter
+        # via R4 — a foreign entry point.
+        position = position_subnet(prober, u, r3_back, 3)
+        assert position is not None
+        assert position.on_trace_path is False
+
+
+class TestUnpositionable:
+    def test_silent_address_returns_none(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        assert position_subnet(prober, None, 0x01010101, 3) is None

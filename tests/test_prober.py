@@ -1,0 +1,215 @@
+"""Unit tests for the probing layer: retries, caching, distance measuring,
+budgets and statistics."""
+
+import pytest
+
+from conftest import address_on
+from repro.netsim import (
+    DEFAULT_TTL,
+    Engine,
+    Protocol,
+    ResponsePolicy,
+    TopologyBuilder,
+)
+from repro.probing import ProbeBudget, ProbeBudgetExceeded, ProbeStats, Prober
+
+
+def chain(n=4, policy=None):
+    builder = TopologyBuilder("chain")
+    for i in range(1, n):
+        builder.link(f"R{i}", f"R{i+1}")
+    builder.edge_host("v", "R1")
+    topo = builder.build()
+    return Engine(topo, policy=policy), topo
+
+
+class TestProberBasics:
+    def test_unknown_vantage_rejected(self):
+        engine, _ = chain()
+        with pytest.raises(ValueError):
+            Prober(engine, "nobody")
+
+    def test_direct_probe_alive(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R4", "R3")
+        response = prober.direct_probe(dst)
+        assert response is not None and response.is_alive_signal
+
+    def test_indirect_probe_requires_small_ttl(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        with pytest.raises(ValueError):
+            prober.indirect_probe(address_on(topo, "R4", "R3"), DEFAULT_TTL)
+
+    def test_is_alive(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        assert prober.is_alive(address_on(topo, "R2", "R1"))
+        assert not prober.is_alive(0x01010101)
+
+    def test_phase_accounting(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        prober.direct_probe(address_on(topo, "R2", "R1"), phase="testing")
+        assert prober.stats.by_phase["testing"] == 1
+
+
+class TestRetries:
+    def test_silent_address_retried_once(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v", retries=1, use_cache=False)
+        prober.direct_probe(0x01010101)
+        assert prober.stats.sent == 2
+        assert prober.stats.retries == 1
+
+    def test_no_retry_on_answer(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v", retries=1)
+        prober.direct_probe(address_on(topo, "R2", "R1"))
+        assert prober.stats.retries == 0
+
+    def test_retry_recovers_from_one_drop(self):
+        policy = ResponsePolicy().rate_limit_router("R2", capacity=1,
+                                                    refill_per_tick=0.5)
+        engine, topo = chain(policy=policy)
+        prober = Prober(engine, "v", retries=1, use_cache=False)
+        dst = address_on(topo, "R2", "R1")
+        assert prober.direct_probe(dst) is not None
+        # Bucket now empty; the next probe drops (only 0.5 tokens refilled)
+        # and the retry one tick later succeeds.
+        assert prober.direct_probe(dst) is not None
+        assert prober.stats.retries >= 1
+
+
+class TestCache:
+    def test_repeat_probe_served_from_cache(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R3", "R2")
+        prober.probe(dst, 3)
+        sent_before = prober.stats.sent
+        prober.probe(dst, 3)
+        assert prober.stats.sent == sent_before
+        assert prober.stats.cache_hits == 1
+
+    def test_silence_is_cached_after_retry(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        prober.direct_probe(0x01010101)
+        sent_before = prober.stats.sent
+        prober.direct_probe(0x01010101)
+        assert prober.stats.sent == sent_before
+
+    def test_large_ttls_share_cache_entry(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R2", "R1")
+        prober.probe(dst, DEFAULT_TTL)
+        prober.probe(dst, DEFAULT_TTL + 10)
+        assert prober.stats.cache_hits == 1
+
+    def test_flow_override_bypasses_cache(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R3", "R2")
+        prober.probe(dst, 3)
+        prober.probe(dst, 3, flow_id=7)
+        assert prober.stats.cache_hits == 0
+
+    def test_clear_cache(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R3", "R2")
+        prober.probe(dst, 3)
+        prober.clear_cache()
+        sent_before = prober.stats.sent
+        prober.probe(dst, 3)
+        assert prober.stats.sent == sent_before + 1
+
+    def test_cache_disabled(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v", use_cache=False)
+        dst = address_on(topo, "R3", "R2")
+        prober.probe(dst, 3)
+        prober.probe(dst, 3)
+        assert prober.stats.sent == 2
+
+
+class TestMeasureDistance:
+    def test_exact_hint(self):
+        engine, topo = chain(5)
+        prober = Prober(engine, "v")
+        assert prober.measure_distance(address_on(topo, "R4", "R3"), hint=4) == 4
+
+    def test_hint_too_low(self):
+        engine, topo = chain(5)
+        prober = Prober(engine, "v")
+        assert prober.measure_distance(address_on(topo, "R4", "R3"), hint=1) == 4
+
+    def test_hint_too_high(self):
+        engine, topo = chain(5)
+        prober = Prober(engine, "v")
+        assert prober.measure_distance(address_on(topo, "R2", "R1"), hint=5) == 2
+
+    def test_unresponsive_returns_none(self):
+        engine, topo = chain(5)
+        prober = Prober(engine, "v")
+        assert prober.measure_distance(0x01010101, hint=3) is None
+
+    def test_near_side_vs_far_side(self):
+        engine, topo = chain(4)
+        prober = Prober(engine, "v")
+        near = address_on(topo, "R2", "R3")
+        far = address_on(topo, "R3", "R2")
+        assert prober.measure_distance(near, hint=3) == 2
+        assert prober.measure_distance(far, hint=2) == 3
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v", budget=ProbeBudget(limit=3),
+                        use_cache=False, retries=0)
+        dst = address_on(topo, "R2", "R1")
+        for _ in range(3):
+            prober.direct_probe(dst)
+        with pytest.raises(ProbeBudgetExceeded):
+            prober.direct_probe(dst)
+
+    def test_budget_remaining(self):
+        budget = ProbeBudget(limit=5)
+        budget.charge(2)
+        assert budget.remaining == 3
+
+    def test_cache_hits_do_not_charge_budget(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v", budget=ProbeBudget(limit=1))
+        dst = address_on(topo, "R2", "R1")
+        prober.direct_probe(dst)
+        prober.direct_probe(dst)  # served from cache, no charge
+        assert prober.budget.remaining == 0
+
+
+class TestStats:
+    def test_snapshot_is_independent_copy(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        snap = prober.stats_snapshot()
+        prober.direct_probe(address_on(topo, "R2", "R1"))
+        assert snap.sent == 0
+        assert prober.stats.sent == 1
+
+    def test_diff(self):
+        a = ProbeStats(sent=10, responses=8, by_phase={"x": 4})
+        b = ProbeStats(sent=3, responses=2, by_phase={"x": 1})
+        delta = a.diff(b)
+        assert delta.sent == 7
+        assert delta.responses == 6
+        assert delta.by_phase == {"x": 3}
+
+    def test_snapshot_dict(self):
+        stats = ProbeStats(sent=2, responses=1, silent=1, by_phase={"p": 2})
+        flat = stats.snapshot()
+        assert flat["sent"] == 2
+        assert flat["phase:p"] == 2

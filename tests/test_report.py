@@ -1,0 +1,104 @@
+"""Unit tests for the ASCII table/figure renderers."""
+
+from repro.evaluation.crossval import IPAccounting
+from repro.evaluation.matching import match_subnets
+from repro.evaluation.report import (
+    render_distribution_table,
+    render_group_counts,
+    render_histogram,
+    render_ip_accounting,
+    render_protocol_table,
+    render_similarity,
+    render_venn,
+)
+from repro.netsim import Prefix
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestDistributionTable:
+    def _text(self):
+        report = match_subnets(
+            [P("10.0.0.0/30"), P("10.0.0.4/30"), P("10.0.0.16/28")],
+            [P("10.0.0.0/30"), P("10.0.0.16/29")],
+        )
+        return render_distribution_table(report, "Table X")
+
+    def test_title_and_rows(self):
+        text = self._text()
+        assert text.startswith("Table X")
+        for row in ("orgl", "exmt", "miss", "undes", "ovres", "splt", "merg"):
+            assert row in text
+
+    def test_totals_column(self):
+        lines = self._text().splitlines()
+        orgl = next(l for l in lines if l.startswith("orgl"))
+        assert orgl.split()[-1] == "3"
+
+    def test_rates_rendered(self):
+        text = self._text()
+        assert "exact match rate (incl. unresponsive): 33.3%" in text
+
+
+class TestProtocolTable:
+    def test_rows_and_total(self):
+        counts = {"sprintlink": {"icmp": 10, "udp": 4, "tcp": 0},
+                  "ntt": {"icmp": 5, "udp": 1, "tcp": 0}}
+        text = render_protocol_table(counts)
+        assert "ICMP" in text and "UDP" in text and "TCP" in text
+        assert "sprintlink" in text
+        total_line = text.splitlines()[-1]
+        assert "15" in total_line and "5" in total_line
+
+
+class TestVenn:
+    def test_regions_labelled(self):
+        regions = {
+            frozenset(["a"]): 3,
+            frozenset(["a", "b"]): 2,
+            frozenset(["a", "b", "c"]): 7,
+        }
+        text = render_venn(regions, ["a", "b", "c"])
+        assert "a & b & c" in text
+        assert "7" in text
+
+
+class TestIPAccounting:
+    def test_rows(self):
+        rows = [IPAccounting(vantage="rice", group="ntt", targets=10,
+                             subnetized=8, unsubnetized=1)]
+        text = render_ip_accounting(rows)
+        assert "rice" in text and "ntt" in text
+        assert "10" in text and "8" in text
+
+
+class TestGroupCounts:
+    def test_matrix(self):
+        counts = {"rice": {"ntt": 3, "level3": 5},
+                  "umass": {"ntt": 2, "level3": 6}}
+        text = render_group_counts(counts)
+        assert "rice" in text and "umass" in text
+        assert "level3" in text and "ntt" in text
+
+
+class TestHistogram:
+    def test_counts_and_log_bars(self):
+        histograms = {"rice": {30: 100, 31: 10, 29: 0}}
+        text = render_histogram(histograms)
+        assert "/30" in text
+        assert "100" in text
+        # 100 -> log10=2 -> 8 hashes; 10 -> 4 hashes; 0 -> none.
+        assert "########" in text
+
+    def test_without_bars(self):
+        text = render_histogram({"x": {30: 5}}, log_bars=False)
+        assert "#" not in text
+
+
+class TestSimilarityLine:
+    def test_format(self):
+        text = render_similarity("Internet2", 0.83, 0.86)
+        assert "Internet2" in text
+        assert "0.830" in text and "0.860" in text

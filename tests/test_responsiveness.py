@@ -1,0 +1,137 @@
+"""Unit tests for response policies: firewalls, silence, bias, rate limits."""
+
+from repro.netsim.builder import TopologyBuilder
+from repro.netsim.packet import Protocol
+from repro.netsim.responsiveness import ResponsePolicy, TokenBucket, fully_responsive
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(capacity=2, refill_per_tick=0)
+        assert bucket.try_consume(0)
+        assert bucket.try_consume(0)
+        assert not bucket.try_consume(0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(capacity=1, refill_per_tick=0.5)
+        assert bucket.try_consume(0)
+        assert not bucket.try_consume(1)   # only 0.5 tokens back
+        assert bucket.try_consume(3)       # refilled past 1.0
+
+    def test_never_exceeds_capacity(self):
+        bucket = TokenBucket(capacity=2, refill_per_tick=1)
+        bucket.try_consume(0)
+        bucket.try_consume(0)
+        assert bucket.try_consume(100)
+        assert bucket.try_consume(100)
+        assert not bucket.try_consume(100)
+
+
+class TestResponsePolicy:
+    def test_default_everything_responds(self):
+        policy = fully_responsive()
+        assert policy.router_responds("R1", Protocol.ICMP, now=1)
+        assert not policy.subnet_is_firewalled("s1")
+        assert not policy.interface_is_silent(42)
+
+    def test_firewall_subnet(self):
+        policy = ResponsePolicy().firewall_subnet("s1")
+        assert policy.subnet_is_firewalled("s1")
+        assert "s1" in policy.firewalled_subnet_ids
+
+    def test_firewall_subnets_bulk(self):
+        policy = ResponsePolicy().firewall_subnets(["a", "b"])
+        assert policy.subnet_is_firewalled("a")
+        assert policy.subnet_is_firewalled("b")
+
+    def test_silence_interface(self):
+        policy = ResponsePolicy().silence_interface(42)
+        assert policy.interface_is_silent(42)
+        assert 42 in policy.silent_interface_addresses
+
+    def test_silence_interfaces_bulk(self):
+        policy = ResponsePolicy().silence_interfaces([1, 2])
+        assert policy.interface_is_silent(1)
+        assert policy.interface_is_silent(2)
+
+    def test_silence_router(self):
+        policy = ResponsePolicy().silence_router("R1")
+        assert not policy.router_responds("R1", Protocol.ICMP, now=1)
+        assert policy.router_responds("R2", Protocol.ICMP, now=1)
+
+    def test_refuse_protocol(self):
+        policy = ResponsePolicy().refuse_protocol("R1", Protocol.UDP)
+        assert policy.router_responds("R1", Protocol.ICMP, now=1)
+        assert not policy.router_responds("R1", Protocol.UDP, now=1)
+
+    def test_rate_limit(self):
+        policy = ResponsePolicy().rate_limit_router("R1", capacity=2,
+                                                    refill_per_tick=0)
+        assert policy.router_responds("R1", Protocol.ICMP, now=1)
+        assert policy.router_responds("R1", Protocol.ICMP, now=1)
+        assert not policy.router_responds("R1", Protocol.ICMP, now=1)
+
+    def test_rate_limit_recovers(self):
+        policy = ResponsePolicy().rate_limit_router("R1", capacity=1,
+                                                    refill_per_tick=0.5)
+        assert policy.router_responds("R1", Protocol.ICMP, now=0)
+        assert not policy.router_responds("R1", Protocol.ICMP, now=1)
+        assert policy.router_responds("R1", Protocol.ICMP, now=5)
+
+    def test_sample_protocol_bias_rates(self):
+        builder = TopologyBuilder()
+        previous = None
+        for i in range(200):
+            name = f"R{i}"
+            if previous is not None:
+                builder.link(previous, name)
+            previous = name
+        topology = builder.topology
+        policy = ResponsePolicy(seed=3).sample_protocol_bias(
+            topology, {Protocol.ICMP: 0.95, Protocol.UDP: 0.5,
+                       Protocol.TCP: 0.05})
+        counts = {p: 0 for p in Protocol}
+        for router_id in topology.routers:
+            for protocol in Protocol:
+                if policy.router_responds(router_id, protocol, now=1):
+                    counts[protocol] += 1
+        assert counts[Protocol.ICMP] > counts[Protocol.UDP] > counts[Protocol.TCP]
+
+    def test_sample_protocol_bias_nested(self):
+        """A router answering TCP must also answer UDP and ICMP when the
+        configured rates are ordered."""
+        builder = TopologyBuilder()
+        previous = None
+        for i in range(100):
+            name = f"R{i}"
+            if previous is not None:
+                builder.link(previous, name)
+            previous = name
+        topology = builder.topology
+        policy = ResponsePolicy(seed=9).sample_protocol_bias(
+            topology, {Protocol.ICMP: 0.9, Protocol.UDP: 0.5,
+                       Protocol.TCP: 0.1})
+        for router_id in topology.routers:
+            if policy.router_responds(router_id, Protocol.TCP, now=1):
+                assert policy.router_responds(router_id, Protocol.UDP, now=1)
+                assert policy.router_responds(router_id, Protocol.ICMP, now=1)
+
+    def test_describe_counts(self):
+        policy = (ResponsePolicy().firewall_subnet("s")
+                  .silence_interface(1).silence_router("R"))
+        text = policy.describe()
+        assert "firewalled_subnets=1" in text
+        assert "silent_interfaces=1" in text
+        assert "silent_routers=1" in text
+
+    def test_seeded_determinism(self):
+        builder = TopologyBuilder()
+        builder.link("A", "B")
+        builder.link("B", "C")
+        topo = builder.topology
+        rates = {Protocol.UDP: 0.5}
+        a = ResponsePolicy(seed=4).sample_protocol_bias(topo, rates)
+        b = ResponsePolicy(seed=4).sample_protocol_bias(topo, rates)
+        for router_id in topo.routers:
+            assert (a.router_responds(router_id, Protocol.UDP, 1)
+                    == b.router_responds(router_id, Protocol.UDP, 1))

@@ -1,0 +1,111 @@
+"""Unit tests for the result types (ObservedSubnet, TraceHop, TraceResult)."""
+
+from repro.core.results import ObservedSubnet, TraceHop, TraceResult
+from repro.netsim.addressing import parse_ip
+
+
+def subnet(pivot="10.0.0.2", members=("10.0.0.1", "10.0.0.2"), **kwargs):
+    return ObservedSubnet(
+        pivot=parse_ip(pivot),
+        pivot_distance=kwargs.pop("pivot_distance", 3),
+        members={parse_ip(m) for m in members},
+        **kwargs,
+    )
+
+
+class TestObservedSubnet:
+    def test_pivot_always_member(self):
+        s = ObservedSubnet(pivot=parse_ip("10.0.0.2"), pivot_distance=3,
+                           members=set())
+        assert parse_ip("10.0.0.2") in s.members
+
+    def test_prefix_is_enclosing(self):
+        s = subnet(members=("10.0.0.1", "10.0.0.2"))
+        assert str(s.prefix) == "10.0.0.0/30"
+
+    def test_single_member_is_slash32(self):
+        s = subnet(members=("10.0.0.2",))
+        assert s.prefix.length == 32
+        assert not s.is_subnetized
+
+    def test_point_to_point_flag(self):
+        assert subnet().is_point_to_point
+        wide = subnet(members=("10.0.0.1", "10.0.0.6"))
+        assert not wide.is_point_to_point
+
+    def test_contains(self):
+        s = subnet()
+        assert s.contains(parse_ip("10.0.0.1"))
+        assert not s.contains(parse_ip("10.0.0.9"))
+
+    def test_describe_mentions_roles(self):
+        s = subnet(contra_pivot=parse_ip("10.0.0.1"),
+                   ingress=parse_ip("10.0.1.1"), on_trace_path=True)
+        text = s.describe()
+        assert "contra=10.0.0.1" in text
+        assert "ingress=10.0.1.1" in text
+        assert "on-path" in text
+
+    def test_describe_off_path(self):
+        assert "off-path" in subnet(on_trace_path=False).describe()
+        assert "unknown-path" in subnet(on_trace_path=None).describe()
+
+
+class TestTraceHop:
+    def test_anonymous(self):
+        hop = TraceHop(ttl=4, address=None)
+        assert hop.is_anonymous
+        assert "*" in hop.describe()
+
+    def test_describe_with_subnet(self):
+        hop = TraceHop(ttl=2, address=parse_ip("10.0.0.2"), subnet=subnet())
+        text = hop.describe()
+        assert "10.0.0.2" in text
+        assert "/30" in text
+
+    def test_destination_marker(self):
+        hop = TraceHop(ttl=5, address=parse_ip("10.0.0.2"), is_destination=True)
+        assert "destination" in hop.describe()
+
+
+class TestTraceResult:
+    def _result(self):
+        result = TraceResult(vantage_host_id="v",
+                             destination=parse_ip("10.0.0.2"))
+        result.hops.append(TraceHop(ttl=1, address=parse_ip("10.0.9.1"),
+                                    subnet=subnet(pivot="10.0.9.1",
+                                                  members=("10.0.9.1", "10.0.9.2"))))
+        result.hops.append(TraceHop(ttl=2, address=None))
+        result.hops.append(TraceHop(ttl=3, address=parse_ip("10.0.0.2"),
+                                    subnet=subnet(), is_destination=True))
+        result.reached = True
+        return result
+
+    def test_subnets_in_order(self):
+        result = self._result()
+        assert len(result.subnets) == 2
+
+    def test_addresses_union(self):
+        result = self._result()
+        assert parse_ip("10.0.9.2") in result.addresses
+        assert parse_ip("10.0.0.1") in result.addresses
+
+    def test_path_addresses_preserve_anonymous(self):
+        assert self._result().path_addresses[1] is None
+
+    def test_subnet_for(self):
+        result = self._result()
+        found = result.subnet_for(parse_ip("10.0.0.1"))
+        assert found is not None
+        assert parse_ip("10.0.0.2") in found.members
+        assert result.subnet_for(parse_ip("99.0.0.1")) is None
+
+    def test_describe_lists_all_hops(self):
+        text = self._result().describe()
+        assert text.count("\n") == 3
+        assert "reached" in text
+
+    def test_to_dict_handles_anonymous(self):
+        payload = self._result().to_dict()
+        assert payload["hops"][1]["address"] is None
+        assert payload["hops"][1]["subnet"] is None

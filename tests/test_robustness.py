@@ -1,0 +1,131 @@
+"""Robustness: the headline results must hold across seeds, and the
+collector must never crash or violate invariants on randomly perturbed
+networks (fuzzing over topologies *and* responsiveness policies)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TraceNET
+from repro.evaluation import (
+    annotate_unresponsive,
+    collected_prefixes,
+    match_subnets,
+)
+from repro.netsim import Engine, LoadBalancer, LoadBalancingMode, ResponsePolicy
+from repro.topogen import internet2, random_topo
+
+
+@pytest.mark.slow
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 101, 555])
+    def test_internet2_rates_stable(self, seed):
+        """Table 1's headline rates are a property of the experiment, not
+        of one lucky seed."""
+        network = internet2.build(seed=seed)
+        tool = TraceNET(Engine(network.topology, policy=network.policy),
+                        "utdallas")
+        tool.trace_many(internet2.targets(network, seed=seed))
+        report = match_subnets(network.ground_truth,
+                               collected_prefixes(tool.collected_subnets))
+        annotate_unresponsive(report, network.records)
+        assert 0.62 <= report.exact_match_rate() <= 0.88, seed
+        assert report.exact_match_rate(exclude_unresponsive=True) >= 0.88, seed
+
+
+class TestPolicyFuzz:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           silent_fraction=st.floats(min_value=0.0, max_value=0.5),
+           firewall_count=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=12, deadline=None)
+    def test_random_policy_never_breaks_invariants(self, seed,
+                                                   silent_fraction,
+                                                   firewall_count):
+        """Arbitrary silence/firewalling may degrade collection but must
+        never crash it or produce structurally invalid subnets."""
+        network = random_topo.build_random(seed, max_p2p=8, max_lans=3)
+        rng = random.Random(seed)
+        policy = ResponsePolicy(seed=seed)
+        addresses = network.topology.all_interface_addresses
+        silent = rng.sample(addresses,
+                            int(len(addresses) * silent_fraction))
+        policy.silence_interfaces(silent)
+        subnet_ids = sorted(network.topology.subnets)
+        for subnet_id in rng.sample(subnet_ids,
+                                    min(firewall_count, len(subnet_ids))):
+            policy.firewall_subnet(subnet_id)
+
+        tool = TraceNET(Engine(network.topology, policy=policy), "vantage",
+                        max_hops=25)
+        for target in network.pick_targets(rng)[:6]:
+            result = tool.trace(target)
+            assert len(result.hops) <= 25
+        for subnet in tool.collected_subnets:
+            assert subnet.pivot in subnet.members
+            assert all(m in subnet.prefix for m in subnet.members)
+            assert 0 < subnet.prefix.length <= 32
+            # Silenced addresses cannot be *collected* (they never answer
+            # direct probes).
+            assert not (set(silent) & (subnet.members - {subnet.pivot}))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_per_packet_balancing_never_breaks_invariants(self, seed):
+        """Per-packet ECMP (the hostile §3.7 case) may shrink subnets but
+        must never produce invalid ones."""
+        network = random_topo.build_random(seed, max_p2p=10, max_lans=3)
+        balancer = LoadBalancer(LoadBalancingMode.PER_PACKET, seed=seed)
+        tool = TraceNET(
+            Engine(network.topology, policy=network.policy,
+                   balancer=balancer),
+            "vantage", max_hops=25)
+        rng = random.Random(seed)
+        for target in network.pick_targets(rng)[:5]:
+            tool.trace(target)
+        for subnet in tool.collected_subnets:
+            assert subnet.pivot in subnet.members
+            assert all(m in subnet.prefix for m in subnet.members)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        """Two engines over the same network give byte-identical surveys."""
+        network = internet2.build(seed=3)
+        targets = internet2.targets(network, seed=3)[:40]
+        snapshots = []
+        for _ in range(2):
+            tool = TraceNET(Engine(network.topology, policy=network.policy),
+                            "utdallas")
+            tool.trace_many(targets)
+            snapshots.append(sorted(
+                (str(s.prefix), tuple(sorted(s.members)))
+                for s in tool.collected_subnets))
+        assert snapshots[0] == snapshots[1]
+
+    def test_rate_limiters_stateful_unless_reset(self):
+        """Buckets deliberately persist across engines (a live network does
+        not reset between runs); resetting restores reproducibility."""
+        from repro.netsim import policy_from_dict, policy_to_dict
+        from repro.topogen import build_internet
+        internet = build_internet(seed=5, scale=0.1)
+        targets = [t for group in internet.targets(seed=5, per_isp=5).values()
+                   for t in group]
+
+        prefix_sets = []
+        for _ in range(2):
+            policy = policy_from_dict(policy_to_dict(internet.policy))
+            tool = TraceNET(Engine(internet.topology, policy=policy), "rice")
+            tool.trace_many(targets)
+            prefix_sets.append({str(s.prefix) for s in tool.collected_subnets})
+        assert prefix_sets[0] == prefix_sets[1]
+
+    def test_reset_rate_limiters_restores_full_buckets(self):
+        from repro.netsim import Protocol, ResponsePolicy
+        policy = ResponsePolicy().rate_limit_router("R1", capacity=1,
+                                                    refill_per_tick=0)
+        assert policy.router_responds("R1", Protocol.ICMP, now=1)
+        assert not policy.router_responds("R1", Protocol.ICMP, now=1)
+        policy.reset_rate_limiters()
+        assert policy.router_responds("R1", Protocol.ICMP, now=1)

@@ -1,0 +1,111 @@
+"""Unit tests for router-level map construction and scoring."""
+
+import pytest
+
+from repro.core.results import ObservedSubnet
+from repro.evaluation import (
+    build_router_level_map,
+    score_router_level_map,
+)
+from repro.netsim import TopologyBuilder
+from repro.netsim.addressing import parse_ip
+
+
+def observed(pivot, members):
+    return ObservedSubnet(pivot=pivot, pivot_distance=2, members=set(members))
+
+
+class TestBuild:
+    def test_alias_groups_become_nodes(self):
+        subnet = observed(2, {1, 2})
+        rmap = build_router_level_map([subnet], [{1, 100}])
+        index = rmap.node_of(1)
+        assert index >= 0
+        assert rmap.nodes[index] == frozenset({1, 100})
+
+    def test_ungrouped_members_become_singletons(self):
+        subnet = observed(2, {1, 2})
+        rmap = build_router_level_map([subnet], [])
+        assert rmap.node_count == 2
+        assert all(len(node) == 1 for node in rmap.nodes)
+
+    def test_lan_contributes_pairwise_edges(self):
+        subnet = observed(3, {1, 2, 3})
+        rmap = build_router_level_map([subnet], [])
+        assert rmap.edge_count == 3  # C(3,2)
+
+    def test_singleton_subnets_ignored(self):
+        rmap = build_router_level_map([observed(9, {9})], [])
+        assert rmap.node_count == 0
+        assert rmap.edge_count == 0
+
+    def test_shared_alias_group_collapses_edges(self):
+        """Two subnets joined by one router produce edges through a single
+        node when the alias group covers both its interfaces."""
+        a = observed(2, {1, 2})
+        b = observed(12, {11, 12})
+        rmap = build_router_level_map([a, b], [{2, 11}])
+        joint = rmap.node_of(2)
+        assert joint == rmap.node_of(11)
+        neighbors = {tuple(sorted(edge)) for edge in rmap.edges}
+        assert len(neighbors) == 2
+
+    def test_summary(self):
+        rmap = build_router_level_map([observed(2, {1, 2})], [{1, 50}])
+        assert "router-level map" in rmap.summary()
+
+
+class TestScore:
+    def _topology(self):
+        from repro.netsim import PrefixAllocator
+        builder = TopologyBuilder(
+            "score", allocator=PrefixAllocator("192.168.0.0/24"))
+        builder.link("R1", "R2", prefix="10.0.0.0/30")
+        builder.link("R2", "R3", prefix="10.0.0.4/30")
+        builder.edge_host("v", "R1")
+        return builder.build()
+
+    def test_perfect_inference(self):
+        topo = self._topology()
+        a1 = parse_ip("10.0.0.1")   # R1
+        a2 = parse_ip("10.0.0.2")   # R2
+        b1 = parse_ip("10.0.0.5")   # R2
+        b2 = parse_ip("10.0.0.6")   # R3
+        subnets = [observed(a2, {a1, a2}), observed(b2, {b1, b2})]
+        rmap = build_router_level_map(subnets, [{a2, b1}])
+        accuracy = score_router_level_map(rmap, topo)
+        assert accuracy.grouping_precision == 1.0
+        assert accuracy.grouping_recall == 1.0
+        assert accuracy.link_precision == 1.0
+        assert accuracy.link_recall == 1.0
+        assert accuracy.inferred_routers == accuracy.true_routers_observed == 3
+
+    def test_missing_alias_costs_recall_not_precision(self):
+        topo = self._topology()
+        a1 = parse_ip("10.0.0.1")
+        a2 = parse_ip("10.0.0.2")
+        b1 = parse_ip("10.0.0.5")
+        b2 = parse_ip("10.0.0.6")
+        subnets = [observed(a2, {a1, a2}), observed(b2, {b1, b2})]
+        rmap = build_router_level_map(subnets, [])  # no alias knowledge
+        accuracy = score_router_level_map(rmap, topo)
+        assert accuracy.grouping_precision == 1.0
+        assert accuracy.grouping_recall == 0.0
+        assert accuracy.link_precision == 1.0
+
+    def test_wrong_alias_costs_precision(self):
+        topo = self._topology()
+        a1 = parse_ip("10.0.0.1")
+        a2 = parse_ip("10.0.0.2")
+        subnets = [observed(a2, {a1, a2})]
+        rmap = build_router_level_map(subnets, [{a1, a2}])  # false alias
+        accuracy = score_router_level_map(rmap, topo)
+        assert accuracy.grouping_precision == 0.0
+
+    def test_describe(self):
+        topo = self._topology()
+        a1 = parse_ip("10.0.0.1")
+        a2 = parse_ip("10.0.0.2")
+        rmap = build_router_level_map([observed(a2, {a1, a2})], [])
+        text = score_router_level_map(rmap, topo).describe()
+        assert "grouping precision" in text

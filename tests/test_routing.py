@@ -1,0 +1,158 @@
+"""Unit tests for routing tables, ECMP sets and load balancing."""
+
+import pytest
+
+from repro.netsim.builder import TopologyBuilder
+from repro.netsim.routing import (
+    FlowKey,
+    LoadBalancer,
+    LoadBalancingMode,
+    NextHop,
+    RoutingTable,
+)
+
+
+def diamond():
+    """A -- B/C -- D diamond: two equal-cost paths from A to D's stub."""
+    builder = TopologyBuilder("diamond")
+    builder.link("A", "B")
+    builder.link("A", "C")
+    builder.link("B", "D")
+    builder.link("C", "D")
+    stub = builder.link("D", "E")
+    builder.edge_host("v", "A")
+    return builder.build(), stub
+
+
+class TestRoutingTable:
+    def test_distance_zero_when_attached(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        assert table.distance("D", stub.subnet_id) == 0
+        assert table.distance("E", stub.subnet_id) == 0
+
+    def test_distance_counts_hops(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        assert table.distance("B", stub.subnet_id) == 1
+        assert table.distance("A", stub.subnet_id) == 2
+
+    def test_next_hops_empty_when_attached(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        assert table.next_hops("D", stub.subnet_id) == []
+
+    def test_next_hops_single(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        hops = table.next_hops("B", stub.subnet_id)
+        assert [h.router_id for h in hops] == ["D"]
+
+    def test_next_hops_ecmp_pair(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        hops = table.next_hops("A", stub.subnet_id)
+        assert sorted(h.router_id for h in hops) == ["B", "C"]
+
+    def test_next_hops_cached(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        first = table.next_hops("A", stub.subnet_id)
+        assert table.next_hops("A", stub.subnet_id) is first
+
+    def test_next_hop_records_via_subnet(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        for hop in table.next_hops("A", stub.subnet_id):
+            via = topo.subnets[hop.via_subnet_id]
+            assert "A" in via.router_ids
+            assert hop.router_id in via.router_ids
+
+    def test_egress_interface_toward_attached(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        address = table.egress_interface_toward("D", stub.subnet_id)
+        assert topo.interface_at(address).router_id == "D"
+
+    def test_egress_interface_toward_remote(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        address = table.egress_interface_toward("A", stub.subnet_id)
+        iface = topo.interface_at(address)
+        assert iface.router_id == "A"
+
+    def test_unreachable_distance_is_none(self):
+        builder = TopologyBuilder()
+        builder.link("A", "B")
+        topo = builder.build(validate=False)
+        other = TopologyBuilder()
+        other.link("X", "Y")
+        # Merge an island subnet manually to create unreachability.
+        island = other.topology.subnets[next(iter(other.topology.subnets))]
+        table = RoutingTable(topo)
+        subnet_id = next(iter(topo.subnets))
+        assert table.distance("A", subnet_id) is not None
+        del island
+
+
+class TestLoadBalancer:
+    def _flow(self, flow_id=0):
+        return FlowKey(src=1, dst=2, protocol="icmp", flow_id=flow_id)
+
+    def _candidates(self):
+        return [NextHop("B", "s1"), NextHop("C", "s2")]
+
+    def test_single_candidate_passthrough(self):
+        lb = LoadBalancer()
+        only = [NextHop("B", "s1")]
+        assert lb.choose("A", only, self._flow()) is only[0]
+
+    def test_no_candidates_raises(self):
+        lb = LoadBalancer()
+        with pytest.raises(ValueError):
+            lb.choose("A", [], self._flow())
+
+    def test_none_mode_picks_first(self):
+        lb = LoadBalancer(LoadBalancingMode.NONE)
+        assert lb.choose("A", self._candidates(), self._flow()).router_id == "B"
+
+    def test_per_flow_deterministic(self):
+        lb = LoadBalancer(LoadBalancingMode.PER_FLOW)
+        picks = {lb.choose("A", self._candidates(), self._flow(7)).router_id
+                 for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_per_flow_varies_with_flow_id(self):
+        lb = LoadBalancer(LoadBalancingMode.PER_FLOW)
+        picks = {lb.choose("A", self._candidates(), self._flow(i)).router_id
+                 for i in range(32)}
+        assert picks == {"B", "C"}
+
+    def test_per_packet_varies(self):
+        lb = LoadBalancer(LoadBalancingMode.PER_PACKET, seed=1)
+        picks = {lb.choose("A", self._candidates(), self._flow()).router_id
+                 for _ in range(32)}
+        assert picks == {"B", "C"}
+
+    def test_per_packet_seeded_reproducible(self):
+        seq1 = [LoadBalancer(LoadBalancingMode.PER_PACKET, seed=5)
+                .choose("A", self._candidates(), self._flow()).router_id
+                for _ in range(1)]
+        lb1 = LoadBalancer(LoadBalancingMode.PER_PACKET, seed=5)
+        lb2 = LoadBalancer(LoadBalancingMode.PER_PACKET, seed=5)
+        seq1 = [lb1.choose("A", self._candidates(), self._flow()).router_id
+                for _ in range(20)]
+        seq2 = [lb2.choose("A", self._candidates(), self._flow()).router_id
+                for _ in range(20)]
+        assert seq1 == seq2
+
+    def test_per_router_override(self):
+        lb = LoadBalancer(LoadBalancingMode.PER_PACKET, seed=3)
+        lb.set_mode("A", LoadBalancingMode.NONE)
+        picks = {lb.choose("A", self._candidates(), self._flow()).router_id
+                 for _ in range(10)}
+        assert picks == {"B"}
+
+    def test_mode_of_default(self):
+        lb = LoadBalancer(LoadBalancingMode.PER_FLOW)
+        assert lb.mode_of("anything") == LoadBalancingMode.PER_FLOW

@@ -1,0 +1,144 @@
+"""Unit tests for the similarity metrics (equations 1-5)."""
+
+import pytest
+
+from repro.evaluation.matching import match_subnets
+from repro.evaluation.similarity import (
+    PrefixBounds,
+    minkowski_distance,
+    prefix_bounds,
+    prefix_distance_factor,
+    prefix_similarity,
+    similarity_summary,
+    size_distance_factor,
+    size_similarity,
+)
+from repro.netsim import Prefix
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+class TestBounds:
+    def test_bounds_over_both_topologies(self):
+        report = match_subnets([P("10.0.0.0/30"), P("10.0.0.16/28")],
+                               [P("10.0.0.0/31")])
+        bounds = prefix_bounds(report)
+        assert bounds.upper == 31
+        assert bounds.lower == 28
+
+    def test_bounds_include_extras(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.1.0.0/24")])
+        bounds = prefix_bounds(report)
+        assert bounds.lower == 24
+
+
+class TestPrefixDistance:
+    def test_exact_is_zero(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.0.0.0/30")])
+        bounds = PrefixBounds(upper=31, lower=24)
+        assert prefix_distance_factor(report.outcomes[0], bounds) == 0
+
+    def test_under_is_difference(self):
+        report = match_subnets([P("10.0.0.0/28")], [P("10.0.0.0/30")])
+        bounds = PrefixBounds(upper=31, lower=24)
+        assert prefix_distance_factor(report.outcomes[0], bounds) == 2
+
+    def test_miss_is_max_to_bounds(self):
+        report = match_subnets([P("10.0.0.0/30")], [])
+        bounds = PrefixBounds(upper=31, lower=24)
+        assert prefix_distance_factor(report.outcomes[0], bounds) == 6
+
+    def test_split_uses_numerically_largest_piece(self):
+        report = match_subnets([P("10.0.0.0/28")],
+                               [P("10.0.0.0/30"), P("10.0.0.8/31")])
+        bounds = PrefixBounds(upper=31, lower=24)
+        # Equation (1): |s_o - max{s_c}| = |28 - 31| = 3
+        assert prefix_distance_factor(report.outcomes[0], bounds) == 3
+
+
+class TestSizeDistance:
+    def test_exact_is_zero(self):
+        report = match_subnets([P("10.0.0.0/30")], [P("10.0.0.0/30")])
+        bounds = PrefixBounds(upper=31, lower=24)
+        assert size_distance_factor(report.outcomes[0], bounds) == 0
+
+    def test_under_size_difference(self):
+        report = match_subnets([P("10.0.0.0/28")], [P("10.0.0.0/30")])
+        bounds = PrefixBounds(upper=31, lower=24)
+        assert size_distance_factor(report.outcomes[0], bounds) == 16 - 4
+
+    def test_split_uses_largest_piece_by_size(self):
+        report = match_subnets([P("10.0.0.0/28")],
+                               [P("10.0.0.0/30"), P("10.0.0.8/31")])
+        bounds = PrefixBounds(upper=31, lower=24)
+        # Equation (4): |2^(32-28) - max{2^(32-s_c)}| = |16 - 4| = 12
+        assert size_distance_factor(report.outcomes[0], bounds) == 12
+
+    def test_miss_favors_dissimilarity(self):
+        report = match_subnets([P("10.0.0.0/28")], [])
+        bounds = PrefixBounds(upper=31, lower=24)
+        assert size_distance_factor(report.outcomes[0], bounds) == 256 - 16
+
+
+class TestMinkowski:
+    def test_order_one_is_sum(self):
+        assert minkowski_distance([1, 2, 3], order=1) == 6
+
+    def test_order_two(self):
+        assert minkowski_distance([3, 4], order=2) == pytest.approx(5.0)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            minkowski_distance([1], order=0)
+
+
+class TestSimilarities:
+    def test_perfect_collection_is_one(self):
+        originals = [P("10.0.0.0/30"), P("10.0.0.16/28")]
+        report = match_subnets(originals, originals)
+        assert prefix_similarity(report) == 1.0
+        assert size_similarity(report) == 1.0
+
+    def test_everything_missing_is_near_zero(self):
+        report = match_subnets([P("10.0.0.0/30"), P("10.0.0.16/28")], [])
+        assert prefix_similarity(report) <= 0.05
+        assert size_similarity(report) <= 0.05
+
+    def test_similarity_in_unit_interval(self):
+        report = match_subnets(
+            [P("10.0.0.0/28"), P("10.0.1.0/29"), P("10.0.2.0/30")],
+            [P("10.0.0.0/30"), P("10.0.2.0/30")],
+        )
+        for value in similarity_summary(report):
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_report(self):
+        report = match_subnets([], [])
+        assert prefix_similarity(report) == 1.0
+        assert similarity_summary(report) == (1.0, 1.0)
+
+    def test_exclude_unresponsive_improves(self):
+        from repro.evaluation.matching import annotate_unresponsive
+        from repro.topogen.spec import SubnetRecord
+        report = match_subnets(
+            [P("10.0.0.0/30"), P("10.0.0.16/28")],
+            [P("10.0.0.0/30")],
+        )
+        annotate_unresponsive(report, [SubnetRecord(
+            subnet_id="x", prefix=P("10.0.0.16/28"), kind="lan",
+            firewalled=True)])
+        incl = similarity_summary(report)
+        excl = similarity_summary(report, exclude_unresponsive=True)
+        assert excl[0] > incl[0]
+        assert excl == (1.0, 1.0)
+
+    def test_underestimates_score_higher_than_misses(self):
+        base = [P("10.0.0.16/28")]
+        under = match_subnets(base, [P("10.0.0.16/29")])
+        miss = match_subnets(base, [])
+        # Use fixed bounds so the two reports are comparable.
+        bounds = PrefixBounds(upper=31, lower=24)
+        assert (prefix_similarity(under, bounds)
+                > prefix_similarity(miss, bounds))

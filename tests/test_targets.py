@@ -1,0 +1,88 @@
+"""Unit tests for destination-selection strategies."""
+
+import pytest
+
+from repro.targets import (
+    STRATEGIES,
+    address_blocks,
+    coverage_of,
+    per_subnet,
+    prefix_stratified,
+    select,
+    uniform_addresses,
+)
+from repro.topogen import internet2, random_topo
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_topo.build_random(31, max_p2p=12, max_lans=4)
+
+
+class TestStrategies:
+    def test_registry_complete(self):
+        assert set(STRATEGIES) == {"per-subnet", "uniform", "stratified",
+                                   "census-blocks"}
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_budget_respected(self, network, name):
+        targets = select(name, network, seed=1, budget=10)
+        assert len(targets) <= 10
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_deterministic(self, network, name):
+        a = select(name, network, seed=5, budget=12)
+        b = select(name, network, seed=5, budget=12)
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_targets_are_assigned_addresses(self, network, name):
+        for target in select(name, network, seed=2, budget=15):
+            assert network.topology.interface_at(target) is not None
+
+    def test_unknown_strategy_rejected(self, network):
+        with pytest.raises(ValueError):
+            select("nope", network, seed=1, budget=5)
+
+    def test_per_subnet_full_budget_covers_everything(self, network):
+        import random
+        targets = per_subnet(network, random.Random(0),
+                             budget=len(network.records))
+        assert coverage_of(targets, network) == 1.0
+
+    def test_uniform_biased_toward_large_subnets(self):
+        """On Internet2 (where /24s dwarf the /30s), the uniform sweep
+        covers fewer subnets than the per-subnet recipe."""
+        import random
+        network = internet2.build(seed=3)
+        budget = 60
+        informed = per_subnet(network, random.Random(1), budget)
+        blind = uniform_addresses(network, random.Random(1), budget)
+        assert coverage_of(informed, network) > coverage_of(blind, network)
+
+    def test_stratified_touches_every_length(self, network):
+        import random
+        targets = prefix_stratified(network, random.Random(4), budget=50)
+        lengths = {record.prefix.length for record in network.records}
+        covered_lengths = set()
+        for record in network.records:
+            if any(t in record.prefix for t in targets):
+                covered_lengths.add(record.prefix.length)
+        assert covered_lengths == lengths
+
+    def test_census_blocks_one_per_block(self, network):
+        import random
+        from repro.netsim import Prefix
+        targets = address_blocks(network, random.Random(2), budget=100,
+                                 block_length=24)
+        blocks = [Prefix.containing(t, 24) for t in targets]
+        assert len(blocks) == len(set(blocks))
+
+
+class TestCoverage:
+    def test_empty_targets(self, network):
+        assert coverage_of([], network) == 0.0
+
+    def test_coverage_bounds(self, network):
+        targets = select("uniform", network, seed=9, budget=20)
+        assert 0.0 <= coverage_of(targets, network) <= 1.0

@@ -1,0 +1,164 @@
+"""Unit tests for the topology graph."""
+
+import pytest
+
+from repro.netsim.addressing import Prefix, parse_ip
+from repro.netsim.router import Router
+from repro.netsim.subnet import Subnet
+from repro.netsim.topology import Topology, TopologyError
+
+
+def simple_topology():
+    """R1 -- (10.0.0.0/30) -- R2, plus host on a stub /30 behind R1."""
+    topo = Topology("t")
+    topo.add_router(Router("R1"))
+    topo.add_router(Router("R2"))
+    topo.add_subnet(Subnet("link", Prefix.parse("10.0.0.0/30")))
+    topo.add_subnet(Subnet("stub", Prefix.parse("10.0.0.4/30")))
+    topo.connect("R1", "link", parse_ip("10.0.0.1"))
+    topo.connect("R2", "link", parse_ip("10.0.0.2"))
+    topo.connect("R1", "stub", parse_ip("10.0.0.5"))
+    topo.add_host("h", "stub", parse_ip("10.0.0.6"))
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_router_rejected(self):
+        topo = Topology()
+        topo.add_router(Router("R1"))
+        with pytest.raises(TopologyError):
+            topo.add_router(Router("R1"))
+
+    def test_duplicate_subnet_rejected(self):
+        topo = Topology()
+        topo.add_subnet(Subnet("s", Prefix.parse("10.0.0.0/30")))
+        with pytest.raises(TopologyError):
+            topo.add_subnet(Subnet("s", Prefix.parse("10.0.1.0/30")))
+
+    def test_overlapping_subnet_rejected(self):
+        topo = Topology()
+        topo.add_subnet(Subnet("a", Prefix.parse("10.0.0.0/24")))
+        with pytest.raises(TopologyError):
+            topo.add_subnet(Subnet("b", Prefix.parse("10.0.0.0/30")))
+
+    def test_connect_unknown_router(self):
+        topo = Topology()
+        topo.add_subnet(Subnet("s", Prefix.parse("10.0.0.0/30")))
+        with pytest.raises(TopologyError):
+            topo.connect("nope", "s", parse_ip("10.0.0.1"))
+
+    def test_connect_unknown_subnet(self):
+        topo = Topology()
+        topo.add_router(Router("R1"))
+        with pytest.raises(TopologyError):
+            topo.connect("R1", "nope", parse_ip("10.0.0.1"))
+
+    def test_connect_duplicate_address(self):
+        topo = simple_topology()
+        with pytest.raises(TopologyError):
+            topo.connect("R2", "link", parse_ip("10.0.0.1"))
+
+    def test_host_requires_address_in_block(self):
+        topo = simple_topology()
+        with pytest.raises(TopologyError):
+            topo.add_host("h2", "stub", parse_ip("10.0.1.1"))
+
+    def test_host_duplicate_id(self):
+        topo = simple_topology()
+        with pytest.raises(TopologyError):
+            topo.add_host("h", "stub", parse_ip("10.0.0.4"))
+
+    def test_host_gateway_defaults_to_first_router(self):
+        topo = simple_topology()
+        assert topo.hosts["h"].gateway_router_id == "R1"
+
+    def test_host_gateway_must_be_attached(self):
+        topo = simple_topology()
+        with pytest.raises(TopologyError):
+            topo.add_host("h2", "link", parse_ip("10.0.0.3"),
+                          gateway_router_id="missing")
+
+
+class TestLookups:
+    def test_interface_at(self):
+        topo = simple_topology()
+        iface = topo.interface_at(parse_ip("10.0.0.2"))
+        assert iface is not None and iface.router_id == "R2"
+        assert topo.interface_at(parse_ip("10.0.0.3")) is None
+
+    def test_host_at(self):
+        topo = simple_topology()
+        assert topo.host_at(parse_ip("10.0.0.6")).host_id == "h"
+        assert topo.host_at(parse_ip("10.0.0.5")) is None
+
+    def test_subnet_containing_assigned(self):
+        topo = simple_topology()
+        assert topo.subnet_containing(parse_ip("10.0.0.1")).subnet_id == "link"
+
+    def test_subnet_containing_unassigned_in_block(self):
+        topo = simple_topology()
+        assert topo.subnet_containing(parse_ip("10.0.0.3")).subnet_id == "link"
+
+    def test_subnet_containing_outside_everything(self):
+        topo = simple_topology()
+        assert topo.subnet_containing(parse_ip("11.0.0.1")) is None
+
+    def test_subnet_containing_between_blocks(self):
+        topo = Topology()
+        topo.add_subnet(Subnet("a", Prefix.parse("10.0.0.0/30")))
+        topo.add_subnet(Subnet("b", Prefix.parse("10.0.0.8/30")))
+        assert topo.subnet_containing(parse_ip("10.0.0.5")) is None
+
+    def test_subnet_containing_host_address(self):
+        topo = simple_topology()
+        assert topo.subnet_containing(parse_ip("10.0.0.6")).subnet_id == "stub"
+
+    def test_router_hosting(self):
+        topo = simple_topology()
+        assert topo.router_hosting(parse_ip("10.0.0.1")).router_id == "R1"
+        assert topo.router_hosting(parse_ip("10.0.0.3")) is None
+
+    def test_neighbors(self):
+        topo = simple_topology()
+        assert topo.neighbors("R1") == ["R2"]
+        assert topo.neighbors("R2") == ["R1"]
+
+    def test_all_interface_addresses(self):
+        topo = simple_topology()
+        assert len(topo.all_interface_addresses) == 3
+
+    def test_ground_truth_prefixes(self):
+        topo = simple_topology()
+        assert Prefix.parse("10.0.0.0/30") in topo.ground_truth_prefixes()
+
+
+class TestValidation:
+    def test_valid_topology_passes(self):
+        simple_topology().validate()
+
+    def test_empty_router_fails(self):
+        topo = simple_topology()
+        topo.add_router(Router("lonely"))
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_empty_subnet_fails(self):
+        topo = simple_topology()
+        topo.add_subnet(Subnet("empty", Prefix.parse("10.0.1.0/30")))
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_disconnected_fails(self):
+        topo = simple_topology()
+        topo.add_router(Router("R3"))
+        topo.add_router(Router("R4"))
+        topo.add_subnet(Subnet("island", Prefix.parse("10.0.2.0/30")))
+        topo.connect("R3", "island", parse_ip("10.0.2.1"))
+        topo.connect("R4", "island", parse_ip("10.0.2.2"))
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_summary_mentions_counts(self):
+        text = simple_topology().summary()
+        assert "2 routers" in text
+        assert "2 subnets" in text

@@ -1,0 +1,181 @@
+"""Integration-grade unit tests for the TraceNET tool itself."""
+
+import pytest
+
+from conftest import address_on
+from repro.core import TraceNET
+from repro.netsim import (
+    Engine,
+    IndirectConfig,
+    Protocol,
+    ResponsePolicy,
+    TopologyBuilder,
+)
+from repro.probing import ProbeBudget, ProbeBudgetExceeded
+
+
+def path_topology():
+    """vantage - R1 - R2 - LAN{R2,R3,R4,R6}/29 - R4 - R5 (dest stub)."""
+    builder = TopologyBuilder("path")
+    builder.link("R1", "R2")
+    lan = builder.lan(["R2", "R3", "R4", "R6"], length=29)
+    dest = builder.link("R4", "R5")
+    builder.edge_host("v", "R1")
+    topo = builder.build()
+    target = topo.routers["R5"].interface_on(dest.subnet_id).address
+    return topo, lan, dest, target
+
+
+class TestTrace:
+    def test_reaches_destination(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(target)
+        assert result.reached
+        assert result.hops[-1].is_destination
+        assert result.hops[-1].address == target
+
+    def test_every_hop_annotated_with_subnet(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(target)
+        assert all(hop.subnet is not None for hop in result.hops
+                   if hop.address is not None)
+
+    def test_lan_fully_discovered_on_path(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(target)
+        lan_subnet = result.subnet_for(
+            topo.routers["R3"].interface_on(lan.subnet_id).address)
+        assert lan_subnet is not None
+        assert lan_subnet.members == set(lan.addresses)
+
+    def test_collects_more_addresses_than_traceroute(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(target)
+        # The traceroute view is one address per hop; tracenet must add
+        # the off-path LAN members (R3, R6 interfaces at minimum).
+        trace_view = {a for a in result.path_addresses if a is not None}
+        assert trace_view < result.addresses
+        assert len(result.addresses) >= len(trace_view) + 2
+
+    def test_worst_case_equals_traceroute(self):
+        """With exploration off, tracenet degrades to plain traceroute."""
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v", explore=False)
+        result = tool.trace(target)
+        assert result.reached
+        assert all(hop.subnet is None for hop in result.hops)
+
+    def test_unreachable_destination(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(0x01010101)
+        assert not result.reached
+
+    def test_probe_count_recorded(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(target)
+        assert result.probes_sent > 0
+        assert result.probes_sent == tool.prober.stats.sent
+
+    def test_anonymous_gap_ends_trace(self):
+        topo, lan, dest, target = path_topology()
+        policy = ResponsePolicy().silence_router("R5")
+        topo.routers["R5"].indirect_config = IndirectConfig.NIL
+        tool = TraceNET(Engine(topo, policy=policy), "v",
+                        anonymous_gap_limit=2)
+        result = tool.trace(target)
+        assert not result.reached
+        trailing = [hop for hop in result.hops if hop.address is None]
+        assert len(trailing) == 2
+
+    def test_anonymous_hop_recorded_mid_path(self):
+        topo, lan, dest, target = path_topology()
+        topo.routers["R2"].indirect_config = IndirectConfig.NIL
+        tool = TraceNET(Engine(topo), "v")
+        result = tool.trace(target)
+        assert result.reached
+        assert any(hop.address is None for hop in result.hops)
+
+
+class TestSubnetReuse:
+    def test_shared_path_subnets_not_reexplored(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        tool.trace(target)
+        count_after_first = len(tool.collected_subnets)
+        other = address_on(topo, "R6", "R3")  # another LAN member
+        tool.trace(other)
+        # The second trace crosses only already-known subnets.
+        assert len(tool.collected_subnets) == count_after_first
+
+    def test_reuse_disabled_duplicates_work(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v", reuse_subnets=False)
+        tool.trace(target)
+        first = len(tool.collected_subnets)
+        tool.trace(target)
+        assert len(tool.collected_subnets) > first
+
+    def test_collected_addresses_union(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        tool.trace(target)
+        assert set(lan.addresses) <= tool.collected_addresses
+
+
+class TestProtocols:
+    @pytest.mark.parametrize("protocol", [Protocol.ICMP, Protocol.UDP,
+                                          Protocol.TCP])
+    def test_all_protocols_work_on_responsive_network(self, protocol):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v", protocol=protocol)
+        result = tool.trace(target)
+        assert result.reached
+
+    def test_udp_refusals_lose_subnets(self):
+        topo, lan, dest, target = path_topology()
+        policy = ResponsePolicy()
+        for router_id in ("R3", "R4", "R5", "R6"):
+            policy.refuse_protocol(router_id, Protocol.UDP)
+        icmp_tool = TraceNET(Engine(topo, policy=policy), "v",
+                             protocol=Protocol.ICMP)
+        udp_tool = TraceNET(Engine(topo, policy=policy), "v",
+                            protocol=Protocol.UDP)
+        icmp_found = {s.prefix for s in
+                      (icmp_tool.trace(target), )[0].subnets if s.size > 1}
+        udp_found = {s.prefix for s in udp_tool.trace(target).subnets
+                     if s.size > 1}
+        assert len(udp_found) < len(icmp_found)
+
+
+class TestBudget:
+    def test_budget_propagates(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v", budget=ProbeBudget(limit=5))
+        with pytest.raises(ProbeBudgetExceeded):
+            tool.trace(target)
+
+
+class TestResultRendering:
+    def test_describe_contains_hops_and_subnets(self):
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        text = tool.trace(target).describe()
+        assert "tracenet to" in text
+        assert "/29" in text
+        assert "destination" in text
+
+    def test_to_dict_roundtrips_json(self):
+        import json
+        topo, lan, dest, target = path_topology()
+        tool = TraceNET(Engine(topo), "v")
+        payload = tool.trace(target).to_dict()
+        encoded = json.dumps(payload)
+        decoded = json.loads(encoded)
+        assert decoded["reached"] is True
+        assert decoded["hops"][-1]["is_destination"] is True
