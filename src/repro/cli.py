@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--network", choices=("internet2", "geant"),
                         default="internet2")
     survey.add_argument("--seed", type=int, default=7)
+    survey.add_argument("--workers", type=int, default=1,
+                        help="shard the target list over N worker processes "
+                             "(default: 1, serial)")
+    survey.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="per-shard checkpoint directory; a re-run with "
+                             "the same targets and workers resumes")
     survey.set_defaults(handler=cmd_survey)
 
     crossval = subparsers.add_parser(
@@ -152,11 +158,28 @@ def cmd_trace(args) -> int:
 def cmd_survey(args) -> int:
     module = internet2 if args.network == "internet2" else geant
     network = module.build(seed=args.seed)
-    engine = Engine(network.topology, policy=network.policy)
-    tool = TraceNET(engine, "utdallas")
-    tool.trace_many(module.targets(network, seed=args.seed))
+    target_list = module.targets(network, seed=args.seed)
+    if args.workers > 1 or args.checkpoint_dir is not None:
+        from .parallel import ShardedSurveyRunner
+
+        runner = ShardedSurveyRunner.from_network(
+            network.topology, network.policy, "utdallas",
+            workers=max(1, args.workers),
+            checkpoint_dir=args.checkpoint_dir)
+        outcome = runner.run(target_list)
+        subnets = outcome.archive.subnets
+        probes_sent = outcome.stats.sent
+        mode = (f"{outcome.workers} shard(s)"
+                + (", inline" if outcome.executed_inline else ""))
+    else:
+        engine = Engine(network.topology, policy=network.policy)
+        tool = TraceNET(engine, "utdallas")
+        tool.trace_many(target_list)
+        subnets = tool.collected_subnets
+        probes_sent = tool.prober.stats.sent
+        mode = "serial"
     report = match_subnets(network.ground_truth,
-                           collected_prefixes(tool.collected_subnets))
+                           collected_prefixes(subnets))
     annotate_unresponsive(report, network.records)
     title = ("Table 1: Internet2, original and collected subnet distribution"
              if args.network == "internet2"
@@ -166,7 +189,7 @@ def cmd_survey(args) -> int:
                             *similarity_summary(report)))
     print(render_similarity(f"{args.network} (excl. unresponsive)",
                             *similarity_summary(report, exclude_unresponsive=True)))
-    print(f"probes sent: {tool.prober.stats.sent}")
+    print(f"probes sent: {probes_sent} ({mode})")
     return 0
 
 

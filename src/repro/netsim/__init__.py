@@ -17,7 +17,13 @@ from .addressing import (
     parse_ip,
 )
 from .builder import PrefixAllocator, TopologyBuilder
-from .engine import Engine, UnassignedAddressBehavior
+from .engine import (
+    Engine,
+    EngineStats,
+    PathTerminal,
+    ResolvedPath,
+    UnassignedAddressBehavior,
+)
 from .iface import Interface
 from .packet import DEFAULT_TTL, Probe, Protocol, Response, ResponseType
 from .responsiveness import ResponsePolicy, fully_responsive
@@ -40,6 +46,7 @@ __all__ = [
     "DEFAULT_TTL",
     "DirectConfig",
     "Engine",
+    "EngineStats",
     "FlowKey",
     "Host",
     "IndirectConfig",
@@ -53,6 +60,8 @@ __all__ = [
     "Probe",
     "Protocol",
     "Response",
+    "PathTerminal",
+    "ResolvedPath",
     "ResponsePolicy",
     "ResponseType",
     "Router",

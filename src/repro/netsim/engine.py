@@ -14,7 +14,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from dataclasses import replace
 
@@ -57,10 +57,74 @@ class EngineStats:
     responses_returned: int = 0
     silent_drops: int = 0
     per_protocol: dict = field(default_factory=dict)
+    #: Resolved-path fast-path accounting: a miss walks the topology and
+    #: memoizes the path, a hit answers from the memo, an uncacheable probe
+    #: belongs to a flow crossing a per-packet load balancer.
+    path_cache_hits: int = 0
+    path_cache_misses: int = 0
+    path_cache_uncacheable: int = 0
 
     def record_probe(self, protocol: Protocol) -> None:
         self.probes_sent += 1
         self.per_protocol[protocol] = self.per_protocol.get(protocol, 0) + 1
+
+
+class PathTerminal(enum.Enum):
+    """How a fully resolved path ends when the TTL never expires."""
+
+    OWNS = "owns"            # last router owns the destination address
+    LAN = "lan"              # last router delivers across the destination LAN
+    NO_ROUTE = "no-route"    # forwarding dead-ends: silence
+    HOP_LIMIT = "hop-limit"  # max_hops routers crossed: silence
+
+
+class ResponsePlan(NamedTuple):
+    """Precomputed static half of one response decision.
+
+    Everything clock-independent — firewalls, silent interfaces, silent
+    routers, protocol refusals, NIL configs and the reply source address —
+    is resolved once per memoized path.  Only the rate-limit bucket draw and
+    the IP-ID counter stay live at replay: a plan of None means the static
+    checks already failed *before* the walk would have touched the bucket,
+    while ``source=None`` means the walk consumes a token and then stays
+    silent (a NIL config), so bucket state matches the walk exactly.
+    """
+
+    kind: ResponseType
+    source: Optional[int]
+    responder: str
+    ip_id_mode: IpIdMode
+    draws_bucket: bool
+
+
+@dataclass(frozen=True)
+class ResolvedPath:
+    """The memoized router walk for one (src, dst, protocol, flow) flow.
+
+    ``router_ids[i]`` is the i-th router the probe visits; ``incoming[i]``
+    the address of the interface it arrived on (None at unknown entries);
+    ``stamps[i]`` the record-route stamp the router adds when forwarding
+    (None when it adds none).  ``hop_plans[i]`` is the response plan when
+    the TTL expires at hop i and ``terminal_plan`` the plan past the last
+    hop; ``expiry_limit`` is the largest TTL that still expires in transit.
+    Rate limiters, IP-ID counters and the virtual clock are consulted live
+    at replay, so cached and walked probes stay identical packet for packet.
+    """
+
+    router_ids: Tuple[str, ...]
+    incoming: Tuple[Optional[int], ...]
+    stamps: Tuple[Optional[int], ...]
+    terminal: PathTerminal
+    lan_subnet_id: Optional[str] = None
+    hop_plans: Tuple[Optional[ResponsePlan], ...] = ()
+    terminal_plan: Optional[ResponsePlan] = None
+    expiry_limit: int = 0
+    terminal_stamp_upto: int = 0
+
+
+#: Cache sentinel: the flow crosses a per-packet balancer, never memoize it.
+_UNCACHEABLE = None
+_MISSING = object()
 
 
 class Engine:
@@ -79,7 +143,8 @@ class Engine:
                  UnassignedAddressBehavior.SILENT,
                  keep_wire_log: bool = False,
                  seed: int = 0,
-                 ip_id_noise: int = 8):
+                 ip_id_noise: int = 8,
+                 path_cache: bool = True):
         self.topology = topology
         self.routing = routing if routing is not None else RoutingTable(topology)
         self.policy = policy if policy is not None else fully_responsive()
@@ -95,6 +160,10 @@ class Engine:
         self._ip_id_rng = random.Random(seed ^ 0x1D5EED)
         self._ip_id_noise = max(0, ip_id_noise)
         self._ip_id_counters: Dict[str, int] = {}
+        # Resolved-path fast path: (src, dst, protocol, flow_id) -> the
+        # memoized router walk, or _UNCACHEABLE for per-packet flows.
+        self.use_path_cache = path_cache
+        self._path_cache: Dict[Tuple[int, int, str, int], Optional[ResolvedPath]] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -102,8 +171,11 @@ class Engine:
         """Inject one probe; return the response seen at the vantage (or None)."""
         self.clock += 1
         self.stats.record_probe(probe.protocol)
-        stamps: List[int] = []
-        response = self._walk(probe, stamps)
+        stamps: Optional[List[int]] = [] if probe.record_route else None
+        if self.use_path_cache and not self._keep_wire_log:
+            response = self._send_cached(probe, stamps)
+        else:
+            response = self._walk(probe, stamps)
         if response is not None and probe.record_route and stamps:
             response = replace(response, record_route=tuple(stamps))
         if response is None:
@@ -111,6 +183,10 @@ class Engine:
         else:
             self.stats.responses_returned += 1
         return response
+
+    def clear_path_cache(self) -> None:
+        """Forget every memoized path (e.g. after mutating the topology)."""
+        self._path_cache.clear()
 
     def path_routers(self, src_host_id: str, dst: int) -> List[str]:
         """Ground-truth router path from a host toward ``dst`` (tests only).
@@ -206,6 +282,222 @@ class Engine:
             current = next_router
         self._log(probe, current.router_id, "hop-limit")
         return None
+
+    # -- resolved-path fast path ---------------------------------------------
+
+    def _send_cached(self, probe: Probe, stamps: Optional[List[int]]
+                     ) -> Optional[Response]:
+        """Answer from the memoized path when one exists, else walk + memoize.
+
+        Per-packet-balanced flows are detected on first contact and marked
+        uncacheable; they take the full walk forever after.  Response
+        generation (policy checks, rate-limit buckets, IP-ID counters) always
+        runs live against the current clock — only the forwarding decision
+        sequence is memoized.
+        """
+        key = (probe.src, probe.dst, probe.protocol.value, probe.flow_id)
+        entry = self._path_cache.get(key, _MISSING)
+        if entry is _MISSING:
+            self.stats.path_cache_misses += 1
+            response = self._walk(probe, stamps)
+            self._path_cache[key] = self._resolve_path(probe)
+            return response
+        if entry is _UNCACHEABLE:
+            self.stats.path_cache_uncacheable += 1
+            return self._walk(probe, stamps)
+        self.stats.path_cache_hits += 1
+        return self._replay(probe, entry, stamps)
+
+    def _resolve_path(self, probe: Probe) -> Optional[ResolvedPath]:
+        """Walk to the terminal hop ignoring the probe's TTL, with no side
+        effects: no rate-limit draws, no PRNG consumption, no stats.  The
+        static halves of every possible response (per-hop TTL-Exceeded and
+        the terminal delivery) are precomputed into plans here.  Returns
+        None when the flow crosses a per-packet load balancer with a real
+        choice (the path is random per packet and must not be memoized)."""
+        host = self.topology.host_at(probe.src)
+        if host is None:
+            raise ValueError(f"probe source {probe.src} is not a registered host")
+        flow = FlowKey(src=probe.src, dst=probe.dst,
+                       protocol=probe.protocol.value, flow_id=probe.flow_id)
+        dest_subnet = self.topology.subnet_containing(probe.dst)
+
+        current = self.topology.routers[host.gateway_router_id]
+        incoming_address: Optional[int] = None
+        entry_iface = current.interface_on(host.subnet_id)
+        if entry_iface is not None:
+            incoming_address = entry_iface.address
+
+        router_ids: List[str] = []
+        incoming: List[Optional[int]] = []
+        stamps: List[Optional[int]] = []
+
+        def done(terminal: PathTerminal, lan_subnet_id: Optional[str] = None
+                 ) -> ResolvedPath:
+            n = len(router_ids)
+            hop_plans = tuple(
+                self._plan_ttl_exceeded(probe, router_ids[i], incoming[i], host)
+                for i in range(n))
+            if terminal == PathTerminal.OWNS:
+                terminal_plan = self._plan_direct(probe, router_ids[-1])
+                expiry_limit = n - 1
+                stamp_upto = n - 1
+            elif terminal == PathTerminal.LAN:
+                terminal_plan = self._plan_lan(probe, router_ids[-1],
+                                               lan_subnet_id)
+                expiry_limit = n
+                stamp_upto = n
+            else:
+                terminal_plan = None
+                expiry_limit = n
+                stamp_upto = n
+            return ResolvedPath(router_ids=tuple(router_ids),
+                                incoming=tuple(incoming),
+                                stamps=tuple(stamps),
+                                terminal=terminal,
+                                lan_subnet_id=lan_subnet_id,
+                                hop_plans=hop_plans,
+                                terminal_plan=terminal_plan,
+                                expiry_limit=expiry_limit,
+                                terminal_stamp_upto=stamp_upto)
+
+        for _ in range(self.max_hops):
+            router_ids.append(current.router_id)
+            incoming.append(incoming_address)
+            if current.owns(probe.dst):
+                stamps.append(None)
+                return done(PathTerminal.OWNS)
+            if dest_subnet is not None and current.interface_on(dest_subnet.subnet_id):
+                iface = current.interface_on(dest_subnet.subnet_id)
+                stamps.append(iface.address if iface is not None else None)
+                return done(PathTerminal.LAN, dest_subnet.subnet_id)
+            if dest_subnet is None:
+                stamps.append(None)
+                return done(PathTerminal.NO_ROUTE)
+            hops = self.routing.next_hops(current.router_id, dest_subnet.subnet_id)
+            if not hops:
+                stamps.append(None)
+                return done(PathTerminal.NO_ROUTE)
+            choice = self.balancer.choose_stable(current.router_id, hops, flow)
+            if choice is None:
+                return None
+            via_iface = current.interface_on(choice.via_subnet_id)
+            stamps.append(via_iface.address if via_iface is not None else None)
+            next_router = self.topology.routers[choice.router_id]
+            next_iface = next_router.interface_on(choice.via_subnet_id)
+            incoming_address = next_iface.address if next_iface is not None else None
+            current = next_router
+        return done(PathTerminal.HOP_LIMIT)
+
+    def _replay(self, probe: Probe, path: ResolvedPath,
+                stamps: Optional[List[int]]) -> Optional[Response]:
+        """Generate this probe's response from a memoized path.
+
+        Mirrors :meth:`_walk` TTL accounting exactly: the terminal router
+        does not decrement for an address it owns, but does before a LAN
+        delivery / dead end.  The static response decision was precomputed
+        into a plan; only the rate-limit bucket and IP-ID counter run live.
+        """
+        ttl = probe.ttl
+        if ttl <= path.expiry_limit:
+            if stamps is not None:
+                self._fill_stamps(probe, path, ttl - 1, stamps)
+            plan = path.hop_plans[ttl - 1]
+        else:
+            if stamps is not None:
+                self._fill_stamps(probe, path, path.terminal_stamp_upto, stamps)
+            plan = path.terminal_plan
+        if plan is None:
+            return None
+        if plan.draws_bucket and not self.policy.rate_limit_allows(
+                plan.responder, self.clock):
+            return None
+        if plan.source is None:
+            return None
+        return Response(kind=plan.kind, source=plan.source, probe=probe,
+                        responder=plan.responder,
+                        ip_id=self._next_ip_id(plan.responder, plan.ip_id_mode))
+
+    def _plan_ttl_exceeded(self, probe: Probe, router_id: str,
+                           incoming_address: Optional[int],
+                           vantage: Host) -> Optional[ResponsePlan]:
+        """Static half of :meth:`_ttl_exceeded` for one hop of a path."""
+        if not self.policy.router_statically_responds(router_id, probe.protocol):
+            return None
+        router = self.topology.routers[router_id]
+        config = router.indirect_config
+        source: Optional[int]
+        if config == IndirectConfig.NIL:
+            source = None  # the walk consumes a token, then stays silent
+        elif config == IndirectConfig.INCOMING:
+            source = incoming_address
+        elif config == IndirectConfig.SHORTEST_PATH:
+            source = self.routing.egress_interface_toward(
+                router_id, vantage.subnet_id)
+        else:
+            source = router.report_address()
+        return ResponsePlan(kind=ResponseType.TTL_EXCEEDED, source=source,
+                            responder=router_id, ip_id_mode=router.ip_id_mode,
+                            draws_bucket=True)
+
+    def _plan_direct(self, probe: Probe, router_id: str
+                     ) -> Optional[ResponsePlan]:
+        """Static half of :meth:`_direct_response` at the owning router."""
+        subnet = self.topology.subnet_containing(probe.dst)
+        if subnet is not None and self.policy.subnet_is_firewalled(subnet.subnet_id):
+            return None
+        if self.policy.interface_is_silent(probe.dst):
+            return None
+        if not self.policy.router_statically_responds(router_id, probe.protocol):
+            return None
+        router = self.topology.routers[router_id]
+        source = None if router.direct_config == DirectConfig.NIL else probe.dst
+        return ResponsePlan(kind=ALIVE_RESPONSES[probe.protocol], source=source,
+                            responder=router_id, ip_id_mode=router.ip_id_mode,
+                            draws_bucket=True)
+
+    def _plan_lan(self, probe: Probe, last_router_id: str,
+                  subnet_id: str) -> Optional[ResponsePlan]:
+        """Static half of :meth:`_deliver_across_lan` past the last hop."""
+        dest_host = self.topology.host_at(probe.dst)
+        if dest_host is not None and dest_host.subnet_id == subnet_id:
+            # _host_response: no router_responds call, so no bucket draw.
+            if self.policy.subnet_is_firewalled(subnet_id):
+                return None
+            if self.policy.interface_is_silent(probe.dst):
+                return None
+            return ResponsePlan(kind=ALIVE_RESPONSES[probe.protocol],
+                                source=probe.dst, responder=dest_host.host_id,
+                                ip_id_mode=IpIdMode.SHARED, draws_bucket=False)
+        iface = self.topology.interface_at(probe.dst)
+        if iface is None or iface.subnet_id != subnet_id:
+            # _unassigned_response
+            if self.unassigned_behavior == UnassignedAddressBehavior.SILENT:
+                return None
+            if self.policy.subnet_is_firewalled(subnet_id):
+                return None
+            if not self.policy.router_statically_responds(last_router_id,
+                                                          probe.protocol):
+                return None
+            router = self.topology.routers[last_router_id]
+            own_iface = router.interface_on(subnet_id)
+            source = own_iface.address if own_iface is not None else None
+            return ResponsePlan(kind=ResponseType.HOST_UNREACHABLE,
+                                source=source, responder=last_router_id,
+                                ip_id_mode=router.ip_id_mode, draws_bucket=True)
+        return self._plan_direct(probe, iface.router_id)
+
+    def _fill_stamps(self, probe: Probe, path: ResolvedPath, upto: int,
+                     stamps: Optional[List[int]]) -> None:
+        """Record-route stamps collected before hop index ``upto``."""
+        if stamps is None or not probe.record_route:
+            return
+        for stamp in path.stamps[:upto]:
+            if stamp is None:
+                continue
+            if len(stamps) >= RECORD_ROUTE_SLOTS:
+                return
+            stamps.append(stamp)
 
     def _deliver_across_lan(self, probe: Probe, current: Router,
                             subnet_id: str, dest_host: Optional[Host]

@@ -144,15 +144,26 @@ class ResponsePolicy:
         return address in self._silent_interfaces
 
     def router_responds(self, router_id: str, protocol: Protocol, now: int) -> bool:
-        """True when ``router_id`` would emit any response right now."""
-        if router_id in self._silent_routers:
-            return False
-        if (router_id, protocol) in self._protocol_refusals:
-            return False
+        """True when ``router_id`` would emit any response right now.
+
+        Checks the static configuration first and only then draws from the
+        rate-limit bucket, so a silent or protocol-refusing router never
+        consumes tokens.
+        """
+        return (self.router_statically_responds(router_id, protocol)
+                and self.rate_limit_allows(router_id, now))
+
+    def router_statically_responds(self, router_id: str, protocol: Protocol) -> bool:
+        """The clock-independent half of :meth:`router_responds`: silent
+        routers and protocol refusals, both fixed at configuration time."""
+        return (router_id not in self._silent_routers
+                and (router_id, protocol) not in self._protocol_refusals)
+
+    def rate_limit_allows(self, router_id: str, now: int) -> bool:
+        """Draw one token from ``router_id``'s bucket (the clock-dependent
+        half of :meth:`router_responds`); unlimited routers always pass."""
         bucket = self._rate_limiters.get(router_id)
-        if bucket is not None and not bucket.try_consume(now):
-            return False
-        return True
+        return bucket is None or bucket.try_consume(now)
 
     # -- introspection (tests / evaluation) -------------------------------
 

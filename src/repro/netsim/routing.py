@@ -82,12 +82,28 @@ class LoadBalancer:
             return candidates[digest % len(candidates)]
         return candidates[self._rng.randrange(len(candidates))]
 
+    def choose_stable(self, router_id: str, candidates: List[NextHop],
+                      flow: FlowKey) -> Optional[NextHop]:
+        """Like :meth:`choose` but side-effect free: returns the hop this
+        flow always takes, or None when the choice is per-packet random
+        (in which case no PRNG state is consumed)."""
+        if not candidates:
+            raise ValueError(f"no next-hop candidates at {router_id}")
+        if len(candidates) == 1:
+            return candidates[0]
+        mode = self.mode_of(router_id)
+        if mode == LoadBalancingMode.PER_PACKET:
+            return None
+        return self.choose(router_id, candidates, flow)
+
 
 class RoutingTable:
     """All-pairs router→subnet distances and ECMP next-hop sets.
 
-    Built once per topology with one BFS per subnet over the router
-    adjacency graph; next-hop sets are derived lazily and cached.
+    One BFS per *used* destination subnet over the router adjacency graph:
+    distance maps and next-hop sets are both derived lazily and cached, so
+    building the table is O(topology) and a worker that only routes toward
+    its own shard's targets never pays for the rest of the network.
     """
 
     def __init__(self, topology: Topology):
@@ -105,8 +121,13 @@ class RoutingTable:
             subnet_id: sorted(subnet.router_ids)
             for subnet_id, subnet in topology.subnets.items()
         }
-        for subnet_id in topology.subnets:
-            self._distance[subnet_id] = self._bfs_from_subnet(subnet_id)
+
+    def _distances_to(self, subnet_id: str) -> Dict[str, int]:
+        cached = self._distance.get(subnet_id)
+        if cached is None:
+            cached = self._bfs_from_subnet(subnet_id)
+            self._distance[subnet_id] = cached
+        return cached
 
     def _bfs_from_subnet(self, start_subnet_id: str) -> Dict[str, int]:
         distances: Dict[str, int] = {}
@@ -132,7 +153,9 @@ class RoutingTable:
 
         0 means the router is itself attached; None means unreachable.
         """
-        return self._distance[subnet_id].get(router_id)
+        if subnet_id not in self._subnet_routers:
+            raise KeyError(subnet_id)
+        return self._distances_to(subnet_id).get(router_id)
 
     def next_hops(self, router_id: str, subnet_id: str) -> List[NextHop]:
         """The ECMP set at ``router_id`` toward ``subnet_id`` (may be empty)."""
@@ -140,7 +163,9 @@ class RoutingTable:
         cached = self._next_hops.get(key)
         if cached is not None:
             return cached
-        distances = self._distance[subnet_id]
+        if subnet_id not in self._subnet_routers:
+            raise KeyError(subnet_id)
+        distances = self._distances_to(subnet_id)
         own = distances.get(router_id)
         candidates: List[NextHop] = []
         if own is not None and own > 0:

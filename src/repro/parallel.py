@@ -1,0 +1,382 @@
+"""Parallel sharded surveys.
+
+The paper's headline experiment traces 34 084 targets; at that scale one
+serial :class:`~repro.runner.SurveyRunner` is the bottleneck.  This module
+splits a target list into shards and runs each shard in its own worker
+process.  Determinism is preserved by construction: every worker rebuilds
+its private :class:`~repro.netsim.engine.Engine` and
+:class:`~repro.core.tracenet.TraceNET` from one serialized scenario spec
+(topology + response policy + seeds), so a shard's results depend only on
+the spec and its target slice, never on scheduling.
+
+The merged result matches a serial run in *content*: the same observed
+subnets (keyed by prefix) and the same trace per target.  Probe *counts*
+legitimately differ — a serial run reuses subnets across the whole target
+list while each shard only reuses within itself — which is exactly the
+redundancy the merge deduplicates.  :func:`archive_signature` defines the
+content-equality contract used by the tests and the throughput bench.
+
+Each shard checkpoints through the ordinary :class:`SurveyRunner` machinery
+into its own file under ``checkpoint_dir``, so an interrupted parallel
+survey resumes shard by shard.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core.exploration import DEFAULT_MIN_PREFIX_LENGTH
+from .core.tracenet import TraceNET
+from .mapping.store import (
+    CollectionArchive,
+    archive_from_dict,
+    archive_to_dict,
+)
+from .netsim.engine import Engine
+from .netsim.packet import Protocol
+from .netsim.responsiveness import ResponsePolicy
+from .netsim.serialize import (
+    policy_from_dict,
+    policy_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+from .netsim.topology import Topology
+from .probing.budget import ProbeStats
+from .runner import SurveyRunner
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to rebuild its private collector.
+
+    Plain JSON-able payloads only, so the spec crosses process boundaries
+    (and could be written next to an experiment) without custom pickling.
+    """
+
+    topology: Dict
+    policy: Optional[Dict]
+    vantage: str
+    protocol: str = Protocol.ICMP.value
+    engine_seed: int = 0
+    policy_seed: int = 0
+    ip_id_noise: int = 8
+    path_cache: bool = True
+    max_hops: int = 30
+    min_prefix_length: int = DEFAULT_MIN_PREFIX_LENGTH
+    explore: bool = True
+    reuse_subnets: bool = True
+
+    @classmethod
+    def from_network(cls, topology: Topology,
+                     policy: Optional[ResponsePolicy],
+                     vantage: str, **overrides) -> "ShardSpec":
+        return cls(
+            topology=topology_to_dict(topology),
+            policy=policy_to_dict(policy) if policy is not None else None,
+            vantage=vantage,
+            **overrides,
+        )
+
+    def build_tool(self) -> TraceNET:
+        """Rebuild the collector this spec describes (worker side)."""
+        topology = topology_from_dict(self.topology)
+        topology.validate()
+        policy = (policy_from_dict(self.policy, seed=self.policy_seed)
+                  if self.policy is not None else None)
+        engine = Engine(topology, policy=policy, seed=self.engine_seed,
+                        ip_id_noise=self.ip_id_noise,
+                        path_cache=self.path_cache)
+        return TraceNET(engine, self.vantage,
+                        protocol=Protocol(self.protocol),
+                        max_hops=self.max_hops,
+                        min_prefix_length=self.min_prefix_length,
+                        explore=self.explore,
+                        reuse_subnets=self.reuse_subnets)
+
+
+def shard_targets(targets: Sequence[int], shards: int) -> List[List[int]]:
+    """Split targets into ``shards`` contiguous, balanced, non-empty slices.
+
+    Deterministic in (targets, shards) so a resumed parallel survey maps
+    every target back to the same shard checkpoint.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    shards = min(shards, max(1, len(targets)))
+    quotient, remainder = divmod(len(targets), shards)
+    slices: List[List[int]] = []
+    start = 0
+    for index in range(shards):
+        size = quotient + (1 if index < remainder else 0)
+        slices.append(list(targets[start:start + size]))
+        start += size
+    return slices
+
+
+def _run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
+               checkpoint_path: Optional[str],
+               checkpoint_every: int) -> Dict:
+    """Worker entry point: rebuild, survey one shard, return plain dicts."""
+    started = time.perf_counter()
+    tool = spec.build_tool()
+    built = time.perf_counter()
+    runner = SurveyRunner(tool, checkpoint_path=checkpoint_path,
+                          checkpoint_every=checkpoint_every)
+    runner.run(targets)
+    finished = time.perf_counter()
+    return {
+        "shard": shard_index,
+        "archive": archive_to_dict(runner.archive),
+        "stats": tool.prober.stats.snapshot(),
+        "build_seconds": built - started,
+        "survey_seconds": finished - built,
+    }
+
+
+def _stats_from_snapshot(snapshot: Dict[str, int]) -> ProbeStats:
+    """Inverse of :meth:`ProbeStats.snapshot` (flat dict -> counters)."""
+    stats = ProbeStats(
+        sent=snapshot.get("sent", 0),
+        responses=snapshot.get("responses", 0),
+        silent=snapshot.get("silent", 0),
+        retries=snapshot.get("retries", 0),
+        cache_hits=snapshot.get("cache_hits", 0),
+    )
+    for key, count in snapshot.items():
+        if key.startswith("phase:"):
+            stats.by_phase[key[len("phase:"):]] = count
+    return stats
+
+
+def merge_probe_stats(parts: Sequence[ProbeStats]) -> ProbeStats:
+    """Sum per-shard probe counters into one survey-wide view."""
+    total = ProbeStats()
+    for part in parts:
+        total.sent += part.sent
+        total.responses += part.responses
+        total.silent += part.silent
+        total.retries += part.retries
+        total.cache_hits += part.cache_hits
+        for phase, count in part.by_phase.items():
+            total.by_phase[phase] = total.by_phase.get(phase, 0) + count
+    return total
+
+
+def merge_shard_archives(vantage: str,
+                         archives: Sequence[CollectionArchive],
+                         targets: Sequence[int]) -> CollectionArchive:
+    """One archive matching a serial run's content.
+
+    Subnets are deduplicated by observed prefix (two shards crossing the
+    same link both explore it); traces are reordered to the original target
+    order, one per distinct destination — exactly what a serial runner
+    records.
+    """
+    subnets = []
+    seen_prefixes = set()
+    traces_by_destination = {}
+    done: set = set()
+    for archive in archives:
+        for subnet in archive.subnets:
+            key = str(subnet.prefix)
+            if key in seen_prefixes:
+                continue
+            seen_prefixes.add(key)
+            subnets.append(subnet)
+        for trace in archive.traces:
+            traces_by_destination.setdefault(trace.destination, trace)
+        done.update(archive.metadata.get("done_targets", []))
+    traces = []
+    emitted = set()
+    for target in targets:
+        trace = traces_by_destination.get(target)
+        if trace is None or target in emitted:
+            continue
+        emitted.add(target)
+        traces.append(trace)
+    return CollectionArchive(
+        vantage=vantage,
+        subnets=subnets,
+        traces=traces,
+        metadata={"done_targets": sorted(done), "shards": len(archives)},
+    )
+
+
+# -- content-equality contract -------------------------------------------------
+
+
+def archive_signature(archive: CollectionArchive) -> Dict:
+    """The content a parallel run must reproduce from a serial one.
+
+    Probe-count fields (``probes_used``, ``probes_sent``) are deliberately
+    excluded: cross-shard subnet reuse makes them differ while the collected
+    topology stays identical.
+    """
+    return {
+        "subnets": sorted(
+            (str(subnet.prefix), tuple(sorted(subnet.members)))
+            for subnet in archive.subnets
+        ),
+        "traces": sorted(
+            (
+                trace.destination,
+                trace.reached,
+                tuple((hop.ttl, hop.address) for hop in trace.hops),
+            )
+            for trace in archive.traces
+        ),
+    }
+
+
+def archives_equivalent(left: CollectionArchive,
+                        right: CollectionArchive) -> bool:
+    """True when both archives collected the same subnets and traces."""
+    return archive_signature(left) == archive_signature(right)
+
+
+# -- the sharded runner --------------------------------------------------------
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard produced."""
+
+    shard_index: int
+    targets: List[int]
+    archive: CollectionArchive
+    stats: ProbeStats
+    build_seconds: float = 0.0
+    survey_seconds: float = 0.0
+
+
+@dataclass
+class ShardedSurveyResult:
+    """Merged outcome of a parallel survey."""
+
+    archive: CollectionArchive
+    stats: ProbeStats
+    shards: List[ShardOutcome] = field(default_factory=list)
+    workers: int = 1
+    executed_inline: bool = False
+
+    @property
+    def probes_sent(self) -> int:
+        return self.stats.sent
+
+
+class ShardedSurveyRunner:
+    """Splits a survey across worker processes and merges the results.
+
+    Args:
+        spec: the serialized scenario every worker rebuilds.
+        workers: shard/process count; 1 runs inline (no processes).
+        checkpoint_dir: when set, shard ``i`` checkpoints into
+            ``<dir>/shard-<i>.json`` through the ordinary
+            :class:`SurveyRunner`, so a re-run with the same targets and
+            worker count resumes each shard.
+        checkpoint_every: per-shard checkpoint cadence.
+    """
+
+    def __init__(self, spec: ShardSpec, workers: int = 2,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 25):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = max(1, checkpoint_every)
+
+    @classmethod
+    def from_network(cls, topology: Topology,
+                     policy: Optional[ResponsePolicy],
+                     vantage: str, workers: int = 2,
+                     checkpoint_dir: Optional[str] = None,
+                     checkpoint_every: int = 25,
+                     **spec_overrides) -> "ShardedSurveyRunner":
+        spec = ShardSpec.from_network(topology, policy, vantage,
+                                      **spec_overrides)
+        return cls(spec, workers=workers, checkpoint_dir=checkpoint_dir,
+                   checkpoint_every=checkpoint_every)
+
+    def shard_checkpoint_path(self, shard_index: int) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, f"shard-{shard_index}.json")
+
+    def run(self, targets: Sequence[int]) -> ShardedSurveyResult:
+        """Survey every target; returns the merged archive and counters."""
+        slices = shard_targets(targets, self.workers)
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+        jobs: List[Tuple[int, List[int], Optional[str]]] = [
+            (index, shard, self.shard_checkpoint_path(index))
+            for index, shard in enumerate(slices)
+        ]
+        executed_inline = len(jobs) == 1
+        if executed_inline:
+            payloads = [self._run_inline(job) for job in jobs]
+        else:
+            try:
+                pool = ProcessPoolExecutor(max_workers=len(jobs))
+            except (ImportError, OSError, PermissionError):
+                # No process support in this environment (e.g. a sandboxed
+                # CI runner without semaphores): degrade to inline shards.
+                executed_inline = True
+                payloads = [self._run_inline(job) for job in jobs]
+            else:
+                with pool:
+                    futures = [
+                        pool.submit(_run_shard, self.spec, index, shard,
+                                    checkpoint, self.checkpoint_every)
+                        for index, shard, checkpoint in jobs
+                    ]
+                    payloads = [future.result() for future in futures]
+        return self._merge(targets, jobs, payloads, executed_inline)
+
+    # -- internals -------------------------------------------------------
+
+    def _run_inline(self, job: Tuple[int, List[int], Optional[str]]) -> Dict:
+        index, shard, checkpoint = job
+        return _run_shard(self.spec, index, shard, checkpoint,
+                          self.checkpoint_every)
+
+    def _merge(self, targets: Sequence[int], jobs, payloads,
+               executed_inline: bool) -> ShardedSurveyResult:
+        outcomes = []
+        for (index, shard, _), payload in zip(jobs, payloads):
+            outcomes.append(ShardOutcome(
+                shard_index=index,
+                targets=shard,
+                archive=archive_from_dict(payload["archive"]),
+                stats=_stats_from_snapshot(payload["stats"]),
+                build_seconds=payload.get("build_seconds", 0.0),
+                survey_seconds=payload.get("survey_seconds", 0.0),
+            ))
+        merged = merge_shard_archives(
+            self.spec.vantage, [o.archive for o in outcomes], targets)
+        stats = merge_probe_stats([o.stats for o in outcomes])
+        return ShardedSurveyResult(
+            archive=merged,
+            stats=stats,
+            shards=outcomes,
+            workers=len(jobs),
+            executed_inline=executed_inline,
+        )
+
+
+def run_sharded_survey(topology: Topology, policy: Optional[ResponsePolicy],
+                       vantage: str, targets: Sequence[int],
+                       workers: int = 2,
+                       checkpoint_dir: Optional[str] = None,
+                       **spec_overrides) -> ShardedSurveyResult:
+    """Convenience wrapper mirroring :func:`run_survey_with_checkpoints`."""
+    runner = ShardedSurveyRunner.from_network(
+        topology, policy, vantage, workers=workers,
+        checkpoint_dir=checkpoint_dir, **spec_overrides)
+    return runner.run(targets)

@@ -62,7 +62,15 @@ class Prober:
         Identical (dst, ttl) probes are answered from the cache when caching
         is enabled — silence is cached too, after the retry has confirmed it.
         """
-        key = (dst, min(ttl, DEFAULT_TTL), self.protocol)
+        if ttl > DEFAULT_TTL:
+            # A TTL beyond DEFAULT_TTL used to alias the direct-probe cache
+            # entry even though the engine can walk it differently (hop-limit
+            # interplay).  Nothing legitimately sends one: direct probes use
+            # exactly DEFAULT_TTL, indirect probes must stay below it.
+            raise ValueError(
+                f"probe TTL {ttl} exceeds DEFAULT_TTL ({DEFAULT_TTL}); "
+                f"use direct_probe() for direct probing")
+        key = (dst, ttl, self.protocol)
         if self.use_cache and flow_id is None and key in self._cache:
             self.stats.cache_hits += 1
             return self._cache[key]

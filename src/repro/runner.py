@@ -72,8 +72,16 @@ class SurveyRunner:
     # -- public API -----------------------------------------------------
 
     def run(self, targets: Sequence[int]) -> SurveyProgress:
-        """Trace every target not already covered by the checkpoint."""
-        self.progress.total_targets = len(targets)
+        """Trace every target not already covered by the checkpoint.
+
+        Each call gets fresh per-run counters: re-running (e.g. resuming
+        with a second target list) must not inherit ``completed``/``skipped``
+        from the previous call, or ``remaining`` goes negative.
+        """
+        self.progress = SurveyProgress(
+            total_targets=len(targets),
+            probes_sent=self.tool.prober.stats.sent,
+        )
         since_flush = 0
         try:
             for target in targets:

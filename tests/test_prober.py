@@ -101,12 +101,23 @@ class TestCache:
         prober.direct_probe(0x01010101)
         assert prober.stats.sent == sent_before
 
-    def test_large_ttls_share_cache_entry(self):
+    def test_oversized_ttl_rejected_not_aliased(self):
+        # A TTL beyond DEFAULT_TTL used to silently alias the direct-probe
+        # cache entry even though the engine can walk it differently.
         engine, topo = chain()
         prober = Prober(engine, "v")
         dst = address_on(topo, "R2", "R1")
         prober.probe(dst, DEFAULT_TTL)
-        prober.probe(dst, DEFAULT_TTL + 10)
+        with pytest.raises(ValueError):
+            prober.probe(dst, DEFAULT_TTL + 10)
+        assert prober.stats.cache_hits == 0
+
+    def test_default_ttl_probe_shares_direct_cache_entry(self):
+        engine, topo = chain()
+        prober = Prober(engine, "v")
+        dst = address_on(topo, "R2", "R1")
+        prober.direct_probe(dst)
+        prober.probe(dst, DEFAULT_TTL)
         assert prober.stats.cache_hits == 1
 
     def test_flow_override_bypasses_cache(self):
