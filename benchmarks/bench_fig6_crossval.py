@@ -6,7 +6,6 @@ Paper: ~60% of a vantage's subnets are observed by all three sites, and
 """
 
 from conftest import write_artifact
-from repro import experiments
 
 
 def test_fig6_crossval_venn(benchmark, isp_internet, crossval_outcome):

@@ -20,6 +20,12 @@ Quickstart::
 """
 
 from .core import ObservedSubnet, TraceHop, TraceNET, TraceResult
+from .events import (
+    CounterSink,
+    EventBus,
+    JsonlEventSink,
+    SessionEvent,
+)
 from .netsim import (
     Engine,
     LoadBalancer,
@@ -38,11 +44,23 @@ from .netsim import (
 )
 from .probing import ProbeBudget, ProbeBudgetExceeded, Prober
 from .runner import SurveyProgress, SurveyRunner
+from .transport import (
+    FaultInjectingTransport,
+    ProbeTransport,
+    RecordingTransport,
+    ReplayTransport,
+    SimulatorTransport,
+    TransportCapabilities,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CounterSink",
     "Engine",
+    "EventBus",
+    "FaultInjectingTransport",
+    "JsonlEventSink",
     "LoadBalancer",
     "LoadBalancingMode",
     "ObservedSubnet",
@@ -52,7 +70,12 @@ __all__ = [
     "ProbeBudget",
     "ProbeBudgetExceeded",
     "Prober",
+    "ProbeTransport",
     "Protocol",
+    "RecordingTransport",
+    "ReplayTransport",
+    "SessionEvent",
+    "SimulatorTransport",
     "SurveyProgress",
     "SurveyRunner",
     "Response",
@@ -63,6 +86,7 @@ __all__ = [
     "TraceHop",
     "TraceNET",
     "TraceResult",
+    "TransportCapabilities",
     "format_ip",
     "ip",
 ]

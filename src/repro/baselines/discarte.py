@@ -12,9 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
-from ..netsim.engine import Engine
 from ..netsim.packet import RECORD_ROUTE_SLOTS, Probe, Protocol
-from ..netsim.topology import Host
+from ..transport import as_transport
 
 
 @dataclass
@@ -51,17 +50,30 @@ class RecordRouteTrace:
 
 
 class DisCarte:
-    """Record-route tracer bound to one vantage point."""
+    """Record-route tracer bound to one vantage point.
 
-    def __init__(self, engine: Engine, vantage_host_id: str,
+    Requires a transport whose backend honours the record-route option
+    (``capabilities().supports_record_route``); refusing up front beats
+    silently collecting stampless traces.
+    """
+
+    def __init__(self, network, vantage_host_id: str,
                  max_hops: int = 30, gap_limit: int = 3):
-        if vantage_host_id not in engine.topology.hosts:
-            raise ValueError(f"unknown vantage host {vantage_host_id!r}")
-        self.engine = engine
-        self.vantage: Host = engine.topology.hosts[vantage_host_id]
+        self.transport = as_transport(network)
+        if not self.transport.capabilities().supports_record_route:
+            raise ValueError(
+                f"transport {self.transport.capabilities().name!r} does not "
+                f"support the record-route option DisCarte depends on")
+        self.vantage_address = self.transport.source_address(vantage_host_id)
+        self.vantage_host_id = vantage_host_id
         self.max_hops = max_hops
         self.gap_limit = gap_limit
         self.probes_sent = 0
+
+    @property
+    def engine(self):
+        """The underlying simulator engine, when the transport has one."""
+        return getattr(self.transport, "engine", None)
 
     def trace(self, destination: int) -> RecordRouteTrace:
         """TTL-scoped probes with the record-route option set."""
@@ -70,8 +82,8 @@ class DisCarte:
         for ttl in range(1, self.max_hops + 1):
             self.probes_sent += 1
             result.probes_sent += 1
-            response = self.engine.send(Probe(
-                src=self.vantage.address,
+            response = self.transport.send(Probe(
+                src=self.vantage_address,
                 dst=destination,
                 ttl=ttl,
                 protocol=Protocol.ICMP,

@@ -8,7 +8,6 @@ the returned hop list is internally consistent.  Here that is simply a
 
 from __future__ import annotations
 
-from ..netsim.engine import Engine
 from ..netsim.packet import Protocol
 from .traceroute import Traceroute
 
@@ -16,10 +15,10 @@ from .traceroute import Traceroute
 class ParisTraceroute(Traceroute):
     """Traceroute variant immune to per-flow load balancing."""
 
-    def __init__(self, engine: Engine, vantage_host_id: str,
+    def __init__(self, network, vantage_host_id: str,
                  protocol: Protocol = Protocol.ICMP,
                  max_hops: int = 30,
                  flow_id: int = 0):
-        super().__init__(engine, vantage_host_id, protocol=protocol,
+        super().__init__(network, vantage_host_id, protocol=protocol,
                          max_hops=max_hops, vary_flow=False)
         self.prober.flow_id = flow_id

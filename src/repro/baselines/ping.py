@@ -10,17 +10,20 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
-from ..netsim.engine import Engine
 from ..netsim.packet import Protocol
 from ..probing.prober import Prober
 
 
 class Ping:
-    """Aliveness tester bound to one vantage point."""
+    """Aliveness tester bound to one vantage point.
 
-    def __init__(self, engine: Engine, vantage_host_id: str,
+    Accepts any :class:`~repro.transport.ProbeTransport` (or a bare
+    engine, wrapped transparently) like every other collector.
+    """
+
+    def __init__(self, network, vantage_host_id: str,
                  protocol: Protocol = Protocol.ICMP):
-        self.prober = Prober(engine, vantage_host_id, protocol=protocol)
+        self.prober = Prober(network, vantage_host_id, protocol=protocol)
 
     def is_alive(self, address: int) -> bool:
         """One direct probe (with the prober's retry-on-silence)."""

@@ -13,9 +13,10 @@ from typing import Optional
 
 from ..core.collection import collect_hop
 from ..core.results import TraceHop, TraceResult
-from ..netsim.engine import Engine
+from ..events import EventBus, TraceFinished, TraceStarted
 from ..netsim.packet import Protocol
 from ..probing.prober import Prober
+from ..transport import as_transport
 
 DEFAULT_GAP_LIMIT = 3
 
@@ -24,30 +25,41 @@ class Traceroute:
     """TTL-scoped path tracer returning one address per hop.
 
     Args:
-        engine: the network.
+        network: a :class:`~repro.transport.ProbeTransport` or a bare
+            :class:`~repro.netsim.engine.Engine` (wrapped transparently).
         vantage_host_id: probe origin.
         protocol: ICMP / UDP / TCP probes.
         vary_flow: classic behaviour (True) rotates the flow identity per
             probe; False pins it, mimicking Paris traceroute.
     """
 
-    def __init__(self, engine: Engine, vantage_host_id: str,
+    def __init__(self, network, vantage_host_id: str,
                  protocol: Protocol = Protocol.ICMP,
                  max_hops: int = 30,
                  vary_flow: bool = True,
-                 gap_limit: int = DEFAULT_GAP_LIMIT):
-        self.engine = engine
+                 gap_limit: int = DEFAULT_GAP_LIMIT,
+                 events: EventBus = None):
+        self.transport = as_transport(network)
+        self.events = events if events is not None else EventBus()
         self.vantage_host_id = vantage_host_id
         self.max_hops = max_hops
         self.vary_flow = vary_flow
         self.gap_limit = gap_limit
         # Classic traceroute cannot cache: every probe's header differs.
-        self.prober = Prober(engine, vantage_host_id, protocol=protocol,
-                             use_cache=not vary_flow)
+        self.prober = Prober(self.transport, vantage_host_id,
+                             protocol=protocol, use_cache=not vary_flow,
+                             events=self.events)
         self._flow_counter = 0
+
+    @property
+    def engine(self):
+        """The underlying simulator engine, when the transport has one."""
+        return getattr(self.transport, "engine", None)
 
     def trace(self, destination: int) -> TraceResult:
         """Walk the path toward ``destination`` one TTL at a time."""
+        if self.events:
+            self.events.emit(TraceStarted(destination=destination))
         before = self.prober.stats_snapshot()
         result = TraceResult(vantage_host_id=self.vantage_host_id,
                              destination=destination)
@@ -71,6 +83,10 @@ class Traceroute:
             else:
                 anonymous_streak = 0
         result.probes_sent = self.prober.stats.sent - before.sent
+        if self.events:
+            self.events.emit(TraceFinished(
+                destination=destination, reached=result.reached,
+                hops=len(result.hops), probes_sent=result.probes_sent))
         return result
 
     def _next_flow_id(self) -> Optional[int]:

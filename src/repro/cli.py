@@ -39,8 +39,10 @@ from .evaluation import (
     subnets_per_group,
     venn_regions,
 )
+from .events import JsonlEventSink, ProgressSink
 from .netsim import Engine, Protocol, format_ip, ip
 from .topogen import build_internet, figures, geant, internet2
+from .transport import RecordingTransport, ReplayTransport, SimulatorTransport
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -73,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--compare-traceroute", action="store_true",
                        help="also print the plain traceroute view")
     trace.add_argument("--json", action="store_true", dest="as_json")
+    _add_transport_options(trace)
     trace.set_defaults(handler=cmd_trace)
 
     survey = subparsers.add_parser(
@@ -86,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="per-shard checkpoint directory; a re-run with "
                              "the same targets and workers resumes")
+    survey.add_argument("--progress", action="store_true",
+                        help="render a progress bar on stderr (serial mode)")
+    _add_transport_options(survey)
     survey.set_defaults(handler=cmd_survey)
 
     crossval = subparsers.add_parser(
@@ -129,37 +135,92 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_transport_options(command: argparse.ArgumentParser) -> None:
+    """The transport-seam options every collection command shares."""
+    command.add_argument("--record", default=None, metavar="JOURNAL",
+                         help="journal every probe/response exchange to "
+                              "this JSONL file")
+    command.add_argument("--replay", default=None, metavar="JOURNAL",
+                         help="re-serve a recorded journal instead of "
+                              "probing the simulator")
+    command.add_argument("--events", default=None, metavar="PATH",
+                         help="write the session-event stream to this "
+                              "JSONL file")
+
+
 def cmd_trace(args) -> int:
-    scenario = (figures.figure2_network() if args.scenario == "figure2"
-                else figures.figure3_network())
-    engine = scenario.engine()
-    source = args.source or next(iter(scenario.hosts))
-    if source not in scenario.topology.hosts:
-        print(f"unknown source host {source!r}", file=sys.stderr)
+    if args.record and args.replay:
+        print("--record and --replay are mutually exclusive", file=sys.stderr)
         return 2
-    destination = _resolve_destination(scenario, source, args.dest)
-    tool = TraceNET(engine, source, protocol=Protocol(args.protocol))
-    result = tool.trace(destination)
+    if args.replay:
+        transport = ReplayTransport(args.replay)
+        source = args.source or transport.metadata.get("source")
+        dest_text = args.dest or transport.metadata.get("destination")
+        if source is None or dest_text is None:
+            print("the journal names no source/destination; pass --source "
+                  "and --dest explicitly", file=sys.stderr)
+            return 2
+        destination = ip(dest_text)
+        scenario = None
+    else:
+        scenario = (figures.figure2_network() if args.scenario == "figure2"
+                    else figures.figure3_network())
+        source = args.source or next(iter(scenario.hosts))
+        if source not in scenario.topology.hosts:
+            print(f"unknown source host {source!r}", file=sys.stderr)
+            return 2
+        destination = _resolve_destination(scenario, source, args.dest)
+        transport = SimulatorTransport(scenario.engine())
+        if args.record:
+            transport = RecordingTransport(transport, args.record, metadata={
+                "scenario": args.scenario,
+                "source": source,
+                "destination": format_ip(destination),
+                "protocol": args.protocol,
+            })
+    tool = TraceNET(transport, source, protocol=Protocol(args.protocol))
+    event_sink = None
+    if args.events:
+        event_sink = tool.events.subscribe(JsonlEventSink(args.events))
+    try:
+        result = tool.trace(destination)
+    finally:
+        if event_sink is not None:
+            event_sink.close()
+        transport.close()
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.describe())
     if args.compare_traceroute:
-        baseline = Traceroute(scenario.engine(), source,
-                              protocol=Protocol(args.protocol))
-        print()
-        print("traceroute view:")
-        for hop in baseline.trace(destination).hops:
-            addr = format_ip(hop.address) if hop.address is not None else "*"
-            print(f"{hop.ttl:3d}  {addr}")
+        if scenario is None:
+            print("(--compare-traceroute needs the simulator; "
+                  "skipped under --replay)", file=sys.stderr)
+        else:
+            baseline = Traceroute(scenario.engine(), source,
+                                  protocol=Protocol(args.protocol))
+            print()
+            print("traceroute view:")
+            for hop in baseline.trace(destination).hops:
+                addr = (format_ip(hop.address)
+                        if hop.address is not None else "*")
+                print(f"{hop.ttl:3d}  {addr}")
     return 0
 
 
 def cmd_survey(args) -> int:
+    if args.record and args.replay:
+        print("--record and --replay are mutually exclusive", file=sys.stderr)
+        return 2
+    sharded = args.workers > 1 or args.checkpoint_dir is not None
+    if sharded and (args.record or args.replay or args.events):
+        print("--record/--replay/--events need the serial path "
+              "(drop --workers/--checkpoint-dir)", file=sys.stderr)
+        return 2
     module = internet2 if args.network == "internet2" else geant
     network = module.build(seed=args.seed)
     target_list = module.targets(network, seed=args.seed)
-    if args.workers > 1 or args.checkpoint_dir is not None:
+    if sharded:
         from .parallel import ShardedSurveyRunner
 
         runner = ShardedSurveyRunner.from_network(
@@ -172,12 +233,38 @@ def cmd_survey(args) -> int:
         mode = (f"{outcome.workers} shard(s)"
                 + (", inline" if outcome.executed_inline else ""))
     else:
-        engine = Engine(network.topology, policy=network.policy)
-        tool = TraceNET(engine, "utdallas")
-        tool.trace_many(target_list)
+        if args.replay:
+            # The journal stands in for the network: no Engine at all.
+            transport = ReplayTransport(args.replay)
+            mode = "replay"
+        else:
+            engine = Engine(network.topology, policy=network.policy)
+            transport = SimulatorTransport(engine)
+            mode = "serial"
+            if args.record:
+                transport = RecordingTransport(transport, args.record,
+                                               metadata={
+                                                   "network": args.network,
+                                                   "seed": args.seed,
+                                                   "vantage": "utdallas",
+                                               })
+                mode = "serial, recording"
+        tool = TraceNET(transport, "utdallas")
+        sinks = []
+        if args.events:
+            sinks.append(tool.events.subscribe(JsonlEventSink(args.events)))
+        if args.progress:
+            sinks.append(tool.events.subscribe(ProgressSink()))
+        try:
+            from .runner import SurveyRunner
+
+            SurveyRunner(tool).run(target_list)
+        finally:
+            for sink in sinks:
+                sink.close()
+            transport.close()
         subnets = tool.collected_subnets
         probes_sent = tool.prober.stats.sent
-        mode = "serial"
     report = match_subnets(network.ground_truth,
                            collected_prefixes(subnets))
     annotate_unresponsive(report, network.records)

@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from ..events import HopObserved
 from ..probing.prober import Prober
 
 PHASE_TRACE = "trace-collection"
@@ -54,12 +55,23 @@ def collect_hop(prober: Prober, destination: int, ttl: int,
     response = prober.indirect_probe(destination, ttl, phase=PHASE_TRACE,
                                      flow_id=flow_id)
     if response is None:
-        return HopObservation(ttl=ttl, kind=HopKind.ANONYMOUS, address=None)
-    if response.is_alive_signal:
-        return HopObservation(ttl=ttl, kind=HopKind.DESTINATION,
-                              address=response.source)
-    if response.is_ttl_exceeded:
-        return HopObservation(ttl=ttl, kind=HopKind.ROUTER,
-                              address=response.source)
-    # Unreachables and other errors terminate the trace as anonymous hops.
-    return HopObservation(ttl=ttl, kind=HopKind.ANONYMOUS, address=None)
+        observation = HopObservation(ttl=ttl, kind=HopKind.ANONYMOUS,
+                                     address=None)
+    elif response.is_alive_signal:
+        observation = HopObservation(ttl=ttl, kind=HopKind.DESTINATION,
+                                     address=response.source)
+    elif response.is_ttl_exceeded:
+        observation = HopObservation(ttl=ttl, kind=HopKind.ROUTER,
+                                     address=response.source)
+    else:
+        # Unreachables and other errors terminate the trace as anonymous hops.
+        observation = HopObservation(ttl=ttl, kind=HopKind.ANONYMOUS,
+                                     address=None)
+    if prober.events:
+        prober.events.emit(HopObserved(
+            destination=destination,
+            ttl=ttl,
+            kind=observation.kind.value,
+            address=observation.address,
+        ))
+    return observation

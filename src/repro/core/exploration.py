@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
+from ..events import SubnetGrown, SubnetShrunk
 from ..netsim.addressing import Prefix
 from ..probing.prober import Prober
 from .heuristics import ExplorationState, Verdict, evaluate_candidate
@@ -49,22 +50,34 @@ def explore_subnet(prober: Prober, position: SubnetPosition,
     stop_reason = "prefix-floor"
     observed_length = min_prefix_length
 
-    for level in range(31, min_prefix_length - 1, -1):
-        block = Prefix.containing(position.pivot, level)
-        shrunk = _explore_level(state, block, members, tested)
-        if shrunk is not None:
-            observed_length = min(level + 1, 32)
-            _shrink(members, state, position.pivot, observed_length)
-            stop_reason = f"shrunk:{shrunk}"
-            break
-        if level <= 29 and len(members) <= block.host_capacity // 2:
-            # Lines 19-21: the level stayed at most half utilized (over the
-            # addresses a subnet of this prefix could accommodate), so the
-            # subnet keeps the previous (last sufficiently filled) prefix.
-            observed_length = level + 1
-            _shrink(members, state, position.pivot, observed_length)
-            stop_reason = "under-utilized"
-            break
+    try:
+        for level in range(31, min_prefix_length - 1, -1):
+            block = Prefix.containing(position.pivot, level)
+            shrunk = _explore_level(state, block, members, tested)
+            if shrunk is not None:
+                observed_length = min(level + 1, 32)
+                _shrink(members, state, position.pivot, observed_length)
+                stop_reason = f"shrunk:{shrunk}"
+                if prober.events:
+                    prober.events.emit(SubnetShrunk(
+                        pivot=position.pivot, rule=shrunk,
+                        prefix_length=observed_length))
+                break
+            if level <= 29 and len(members) <= block.host_capacity // 2:
+                # Lines 19-21: the level stayed at most half utilized (over
+                # the addresses a subnet of this prefix could accommodate),
+                # so the subnet keeps the previous (last sufficiently
+                # filled) prefix.
+                observed_length = level + 1
+                _shrink(members, state, position.pivot, observed_length)
+                stop_reason = "under-utilized"
+                if prober.events:
+                    prober.events.emit(SubnetShrunk(
+                        pivot=position.pivot, rule="half-utilization",
+                        prefix_length=observed_length))
+                break
+    finally:
+        state.detach()
 
     observed_length = _reduce_boundaries(members, position.pivot,
                                          observed_length)
@@ -74,6 +87,14 @@ def explore_subnet(prober: Prober, position: SubnetPosition,
         state.contra_pivot = None
 
     after = prober.stats_snapshot()
+    if prober.events:
+        prober.events.emit(SubnetGrown(
+            pivot=position.pivot,
+            prefix=str(Prefix.containing(position.pivot, observed_length)),
+            size=len(members),
+            stop_reason=stop_reason,
+            probes_used=after.sent - before.sent,
+        ))
     return ObservedSubnet(
         pivot=position.pivot,
         pivot_distance=position.pivot_distance,

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Set
 
+from ..events import HeuristicFired
 from ..netsim.addressing import mate30, mate31
 from ..netsim.packet import Response, ResponseType
 from ..probing.prober import Prober
@@ -51,7 +52,10 @@ class ExplorationState:
 
     ``disabled_rules`` supports ablation studies: a rule named there always
     passes (as if its test never fired).  ``audit`` collects per-candidate
-    judgements when a list is supplied.
+    judgements when a list is supplied; it is a thin adapter over the
+    session-event bus — every judgement is emitted as a
+    :class:`~repro.events.HeuristicFired` event, and the audit sink
+    translates those back into ``(candidate, Judgement)`` pairs.
     """
 
     prober: Prober
@@ -64,13 +68,40 @@ class ExplorationState:
     disabled_rules: frozenset = frozenset()
     audit: Optional[list] = None
 
+    def __post_init__(self) -> None:
+        self._audit_sink = None
+        if self.audit is not None and self.prober is not None:
+            self._audit_sink = self.prober.events.subscribe(self._on_event)
+
     def rule_enabled(self, rule: str) -> bool:
         return rule not in self.disabled_rules
 
     def record(self, candidate: int, judgement: "Judgement") -> "Judgement":
-        if self.audit is not None:
+        if self.prober is not None:
+            bus = self.prober.events
+            if bus:
+                bus.emit(HeuristicFired(
+                    candidate=candidate,
+                    rule=judgement.rule,
+                    verdict=judgement.verdict.value,
+                    detail=judgement.detail,
+                ))
+        elif self.audit is not None:
+            # No bus to adapt over (a prober-less unit-test state): keep
+            # the audit contract directly.
             self.audit.append((candidate, judgement))
         return judgement
+
+    def detach(self) -> None:
+        """Unsubscribe the audit adapter (call when the state is done)."""
+        if self._audit_sink is not None:
+            self.prober.events.unsubscribe(self._audit_sink)
+            self._audit_sink = None
+
+    def _on_event(self, event) -> None:
+        if isinstance(event, HeuristicFired) and self.audit is not None:
+            self.audit.append((event.candidate, Judgement(
+                Verdict(event.verdict), event.rule, event.detail)))
 
     @property
     def entry_addresses(self) -> Set[int]:

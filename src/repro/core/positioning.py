@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..events import SubnetPositioned
 from ..netsim.addressing import mate30, mate31
 from ..probing.prober import Prober
 
@@ -58,11 +59,19 @@ def position_subnet(prober: Prober, u: Optional[int], v: int, d: int
     """
     vh = prober.measure_distance(v, hint=d, phase=PHASE_POSITIONING)
     if vh is None:
+        if prober.events:
+            prober.events.emit(SubnetPositioned(
+                trace_address=v, positioned=False, pivot=None,
+                pivot_distance=None, on_trace_path=None))
         return None
 
     on_trace_path = _decide_on_trace_path(prober, u, v, vh, d)
     pivot, pivot_distance = _designate_pivot(prober, v, vh)
     ingress = _designate_ingress(prober, pivot, pivot_distance)
+    if prober.events:
+        prober.events.emit(SubnetPositioned(
+            trace_address=v, positioned=True, pivot=pivot,
+            pivot_distance=pivot_distance, on_trace_path=on_trace_path))
     return SubnetPosition(
         pivot=pivot,
         pivot_distance=pivot_distance,

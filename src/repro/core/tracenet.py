@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from ..netsim.engine import Engine
+from ..events import EventBus, TraceFinished, TraceStarted
 from ..netsim.packet import Protocol
 from ..probing.budget import ProbeBudget
 from ..probing.prober import Prober
+from ..transport import as_transport
 from .collection import collect_hop
 from .exploration import (
     DEFAULT_MIN_PREFIX_LENGTH,
@@ -38,7 +39,9 @@ class TraceNET:
     """End-to-end subnet-level topology collector.
 
     Args:
-        engine: the network (simulator stand-in for raw sockets).
+        network: any :class:`~repro.transport.ProbeTransport` (simulator,
+            journal replay, fault wrapper, ...) — or a bare
+            :class:`~repro.netsim.engine.Engine`, wrapped transparently.
         vantage_host_id: registered host the probes originate from.
         protocol: ICMP (default, least affected by load balancing — Section
             3.7), UDP or TCP.
@@ -47,9 +50,11 @@ class TraceNET:
         explore: when False, tracenet degrades to plain trace collection —
             the paper's worst case, "the exact path traceroute would return".
         budget: optional probe budget shared by all traces of this instance.
+        events: session-event bus shared with the prober; defaults to a
+            fresh bus reachable as ``tool.events``.
     """
 
-    def __init__(self, engine: Engine, vantage_host_id: str,
+    def __init__(self, network, vantage_host_id: str,
                  protocol: Protocol = Protocol.ICMP,
                  max_hops: int = 30,
                  min_prefix_length: int = DEFAULT_MIN_PREFIX_LENGTH,
@@ -57,11 +62,14 @@ class TraceNET:
                  reuse_subnets: bool = True,
                  anonymous_gap_limit: int = DEFAULT_ANONYMOUS_GAP_LIMIT,
                  budget: Optional[ProbeBudget] = None,
-                 disabled_rules: frozenset = frozenset()):
-        self.engine = engine
+                 disabled_rules: frozenset = frozenset(),
+                 events: Optional[EventBus] = None):
+        self.transport = as_transport(network)
+        self.events = events if events is not None else EventBus()
         self.vantage_host_id = vantage_host_id
-        self.prober = Prober(engine, vantage_host_id, protocol=protocol,
-                             budget=budget)
+        self.prober = Prober(self.transport, vantage_host_id,
+                             protocol=protocol, budget=budget,
+                             events=self.events)
         self.max_hops = max_hops
         self.min_prefix_length = min_prefix_length
         self.explore = explore
@@ -71,10 +79,17 @@ class TraceNET:
         self._subnets: List[ObservedSubnet] = []
         self._member_index: Dict[int, ObservedSubnet] = {}
 
+    @property
+    def engine(self):
+        """The underlying simulator engine, when the transport has one."""
+        return getattr(self.transport, "engine", None)
+
     # -- public API ------------------------------------------------------
 
     def trace(self, destination: int) -> TraceResult:
         """Trace toward ``destination``, exploring each visited subnet."""
+        if self.events:
+            self.events.emit(TraceStarted(destination=destination))
         before = self.prober.stats_snapshot()
         result = TraceResult(vantage_host_id=self.vantage_host_id,
                              destination=destination)
@@ -114,6 +129,13 @@ class TraceNET:
             previous_address = address
 
         result.probes_sent = self.prober.stats.sent - before.sent
+        if self.events:
+            self.events.emit(TraceFinished(
+                destination=destination,
+                reached=result.reached,
+                hops=len(result.hops),
+                probes_sent=result.probes_sent,
+            ))
         return result
 
     def trace_many(self, destinations: Iterable[int]) -> List[TraceResult]:
@@ -129,6 +151,16 @@ class TraceNET:
     def collected_addresses(self) -> set:
         """Every address placed into some observed subnet."""
         return set(self._member_index.keys())
+
+    def register_subnet(self, subnet: ObservedSubnet) -> None:
+        """Adopt an externally collected subnet into the reuse registry.
+
+        Survey runners use this to seed a resumed instance from a
+        checkpoint archive so subnet reuse keeps working across restarts.
+        """
+        self._subnets.append(subnet)
+        for member in subnet.members:
+            self._member_index.setdefault(member, subnet)
 
     # -- internals ---------------------------------------------------------
 
@@ -149,10 +181,5 @@ class TraceNET:
             subnet = explore_subnet(self.prober, position,
                                     min_prefix_length=self.min_prefix_length,
                                     disabled_rules=self.disabled_rules)
-        self._register(subnet)
+        self.register_subnet(subnet)
         return subnet
-
-    def _register(self, subnet: ObservedSubnet) -> None:
-        self._subnets.append(subnet)
-        for member in subnet.members:
-            self._member_index.setdefault(member, subnet)

@@ -1,0 +1,314 @@
+"""Typed session-event stream: every collector decision, observable.
+
+Donnet et al.'s Doubletree deployment and Latapy et al.'s "Radar for the
+Internet" both argue that a topology collector is only trustworthy when its
+probe stream and per-decision telemetry are fully recorded.  This module is
+that operational layer: the collectors emit small frozen dataclass events
+(:class:`ProbeSent`, :class:`HopObserved`, :class:`HeuristicFired`, ...)
+onto an :class:`EventBus`, and pluggable sinks consume them — an in-memory
+counter for metrics, a JSONL writer for durable logs, a progress renderer
+for terminals.
+
+The legacy side channels (``ExplorationState.audit`` lists,
+``SurveyRunner.progress_hook`` callbacks) are thin adapters over this bus;
+nothing in the algorithms depends on any particular sink being attached,
+and with no sinks attached event construction is skipped entirely (the
+producers guard with ``if bus:``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import Callable, Dict, IO, List, Optional, Tuple, Type, Union
+
+# -- the event taxonomy -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """Base class for everything the collectors emit."""
+
+
+@dataclass(frozen=True)
+class ProbeSent(SessionEvent):
+    """One probe actually put on the wire (cache hits do not emit)."""
+
+    dst: int
+    ttl: int
+    protocol: str
+    flow_id: int
+    phase: Optional[str]
+    answered: bool
+    response_kind: Optional[str]
+    response_source: Optional[int]
+
+
+@dataclass(frozen=True)
+class HopObserved(SessionEvent):
+    """Trace-collection mode classified the answer at one TTL."""
+
+    destination: int
+    ttl: int
+    kind: str
+    address: Optional[int]
+
+
+@dataclass(frozen=True)
+class SubnetPositioned(SessionEvent):
+    """Algorithm 2 finished for one trace address (successfully or not)."""
+
+    trace_address: int
+    positioned: bool
+    pivot: Optional[int]
+    pivot_distance: Optional[int]
+    on_trace_path: Optional[bool]
+
+
+@dataclass(frozen=True)
+class HeuristicFired(SessionEvent):
+    """One H2–H8 judgement on one candidate address."""
+
+    candidate: int
+    rule: str
+    verdict: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class SubnetShrunk(SessionEvent):
+    """H1 stop-and-shrink (or the half-utilization rule) cut the growth."""
+
+    pivot: int
+    rule: str
+    prefix_length: int
+
+
+@dataclass(frozen=True)
+class SubnetGrown(SessionEvent):
+    """Algorithm 1 finished: one observed subnet, ready for the archive."""
+
+    pivot: int
+    prefix: str
+    size: int
+    stop_reason: str
+    probes_used: int
+
+
+@dataclass(frozen=True)
+class TraceStarted(SessionEvent):
+    """A tracenet session toward one destination began."""
+
+    destination: int
+
+
+@dataclass(frozen=True)
+class TraceFinished(SessionEvent):
+    """A tracenet session ended (reached, looped, or gave up)."""
+
+    destination: int
+    reached: bool
+    hops: int
+    probes_sent: int
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(SessionEvent):
+    """The survey runner persisted its archive."""
+
+    path: str
+    completed_targets: int
+    traces: int
+
+
+@dataclass(frozen=True)
+class SurveyProgressed(SessionEvent):
+    """Per-target survey progress (drives progress bars and hooks)."""
+
+    total_targets: int
+    completed: int
+    skipped: int
+    reached: int
+    probes_sent: int
+
+
+#: Every concrete event type, by class name — the wire vocabulary.
+EVENT_TYPES: Dict[str, Type[SessionEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        ProbeSent, HopObserved, SubnetPositioned, HeuristicFired,
+        SubnetShrunk, SubnetGrown, TraceStarted, TraceFinished,
+        CheckpointWritten, SurveyProgressed,
+    )
+}
+
+
+def event_to_dict(event: SessionEvent) -> Dict:
+    """JSON-ready representation: ``{"event": <class>, ...fields}``."""
+    payload = {"event": type(event).__name__}
+    payload.update(asdict(event))
+    return payload
+
+
+def event_from_dict(payload: Dict) -> SessionEvent:
+    """Inverse of :func:`event_to_dict` (unknown kinds fail loudly)."""
+    kind = payload.get("event")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown session event kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+# -- the bus ------------------------------------------------------------------
+
+Sink = Callable[[SessionEvent], None]
+
+
+class EventBus:
+    """Dispatches events to the attached sinks, in subscription order.
+
+    Truthiness reports whether any sink is attached, so producers can skip
+    event construction on the hot path::
+
+        if bus:
+            bus.emit(ProbeSent(...))
+    """
+
+    def __init__(self) -> None:
+        self._sinks: List[Sink] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._sinks)
+
+    def subscribe(self, sink: Sink) -> Sink:
+        """Attach a sink; returns it so callers can unsubscribe later."""
+        self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: Sink) -> None:
+        """Detach a sink (no-op when it is not attached)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def subscribed(self, sink: Sink):
+        """Scoped subscription: attach for the ``with`` body only."""
+        self.subscribe(sink)
+        try:
+            yield sink
+        finally:
+            self.unsubscribe(sink)
+
+    def emit(self, event: SessionEvent) -> None:
+        for sink in tuple(self._sinks):
+            sink(event)
+
+
+# -- sinks --------------------------------------------------------------------
+
+
+class CounterSink:
+    """In-memory metrics: events tallied by type (and heuristic rule)."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.rules: Dict[str, int] = {}
+
+    def __call__(self, event: SessionEvent) -> None:
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if isinstance(event, HeuristicFired):
+            self.rules[event.rule] = self.rules.get(event.rule, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat copy for reports: ``{"event:<type>": n, "rule:<H>": n}``."""
+        flat = {f"event:{k}": v for k, v in sorted(self.counts.items())}
+        flat.update({f"rule:{k}": v for k, v in sorted(self.rules.items())})
+        return flat
+
+
+class CollectingSink:
+    """Keeps every event (optionally filtered by type) — made for tests."""
+
+    def __init__(self, *types: Type[SessionEvent]) -> None:
+        self.types: Optional[Tuple[Type[SessionEvent], ...]] = types or None
+        self.events: List[SessionEvent] = []
+
+    def __call__(self, event: SessionEvent) -> None:
+        if self.types is None or isinstance(event, self.types):
+            self.events.append(event)
+
+
+class JsonlEventSink:
+    """Appends one JSON object per event to a file (or open stream)."""
+
+    def __init__(self, destination: Union[str, IO]) -> None:
+        if isinstance(destination, str):
+            self._fp: IO = open(destination, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fp = destination
+            self._owns = False
+        self.written = 0
+
+    def __call__(self, event: SessionEvent) -> None:
+        self._fp.write(json.dumps(event_to_dict(event), sort_keys=True))
+        self._fp.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._fp.flush()
+        if self._owns:
+            self._fp.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ProgressSink:
+    """Renders :class:`SurveyProgressed` events as a one-line progress bar."""
+
+    def __init__(self, stream: Optional[IO] = None, width: int = 30) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = max(1, width)
+        self._rendered = False
+
+    def __call__(self, event: SessionEvent) -> None:
+        if not isinstance(event, SurveyProgressed):
+            return
+        done = event.completed + event.skipped
+        total = max(1, event.total_targets)
+        filled = int(self.width * min(1.0, done / total))
+        bar = "#" * filled + "-" * (self.width - filled)
+        self.stream.write(
+            f"\r[{bar}] {done}/{event.total_targets} targets "
+            f"({event.reached} reached, {event.probes_sent} probes)")
+        self.stream.flush()
+        self._rendered = True
+
+    def close(self) -> None:
+        if self._rendered:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._rendered = False
+
+
+def replay_events(source: Union[str, IO]) -> List[SessionEvent]:
+    """Load a JSONL event log back into typed events (for analysis)."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fp:
+            return [event_from_dict(json.loads(line))
+                    for line in fp if line.strip()]
+    return [event_from_dict(json.loads(line)) for line in source if line.strip()]

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core.exploration import DEFAULT_MIN_PREFIX_LENGTH
 from .core.tracenet import TraceNET
+from .events import CounterSink
 from .mapping.store import (
     CollectionArchive,
     archive_from_dict,
@@ -48,6 +49,7 @@ from .netsim.serialize import (
 from .netsim.topology import Topology
 from .probing.budget import ProbeStats
 from .runner import SurveyRunner
+from .transport import SimulatorTransport
 
 
 @dataclass(frozen=True)
@@ -91,7 +93,7 @@ class ShardSpec:
         engine = Engine(topology, policy=policy, seed=self.engine_seed,
                         ip_id_noise=self.ip_id_noise,
                         path_cache=self.path_cache)
-        return TraceNET(engine, self.vantage,
+        return TraceNET(SimulatorTransport(engine), self.vantage,
                         protocol=Protocol(self.protocol),
                         max_hops=self.max_hops,
                         min_prefix_length=self.min_prefix_length,
@@ -124,6 +126,8 @@ def _run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
     """Worker entry point: rebuild, survey one shard, return plain dicts."""
     started = time.perf_counter()
     tool = spec.build_tool()
+    events = CounterSink()
+    tool.events.subscribe(events)
     built = time.perf_counter()
     runner = SurveyRunner(tool, checkpoint_path=checkpoint_path,
                           checkpoint_every=checkpoint_every)
@@ -133,6 +137,7 @@ def _run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
         "shard": shard_index,
         "archive": archive_to_dict(runner.archive),
         "stats": tool.prober.stats.snapshot(),
+        "events": dict(events.counts),
         "build_seconds": built - started,
         "survey_seconds": finished - built,
     }
@@ -250,6 +255,7 @@ class ShardOutcome:
     targets: List[int]
     archive: CollectionArchive
     stats: ProbeStats
+    event_counts: Dict[str, int] = field(default_factory=dict)
     build_seconds: float = 0.0
     survey_seconds: float = 0.0
 
@@ -267,6 +273,15 @@ class ShardedSurveyResult:
     @property
     def probes_sent(self) -> int:
         return self.stats.sent
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        """Session events tallied across every shard, by event type."""
+        merged: Dict[str, int] = {}
+        for shard in self.shards:
+            for name, count in shard.event_counts.items():
+                merged[name] = merged.get(name, 0) + count
+        return merged
 
 
 class ShardedSurveyRunner:
@@ -355,6 +370,7 @@ class ShardedSurveyRunner:
                 targets=shard,
                 archive=archive_from_dict(payload["archive"]),
                 stats=_stats_from_snapshot(payload["stats"]),
+                event_counts=payload.get("events", {}),
                 build_seconds=payload.get("build_seconds", 0.0),
                 survey_seconds=payload.get("survey_seconds", 0.0),
             ))

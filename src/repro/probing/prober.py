@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..netsim.engine import Engine
+from ..events import EventBus, ProbeSent
 from ..netsim.packet import DEFAULT_TTL, Probe, Protocol, Response
+from ..transport import as_transport
 from .budget import ProbeBudget, ProbeStats
 
 CacheKey = Tuple[int, int, Protocol]
@@ -23,35 +24,45 @@ class Prober:
     """Issues direct and indirect probes from one vantage point.
 
     Args:
-        engine: the forwarding engine (the "network").
+        network: any :class:`~repro.transport.ProbeTransport` — or a bare
+            :class:`~repro.netsim.engine.Engine`, which is wrapped in a
+            :class:`~repro.transport.SimulatorTransport` transparently.
         vantage_host_id: which registered host the probes originate from.
-        protocol: probe transport (paper Section 4.2 compares all three).
+        protocol: probe transport protocol (Section 4.2 compares all three).
         retries: re-probes on silence; the paper's implementation uses 1.
         use_cache: memoize (dst, ttl) -> response, including silence.
         budget: optional hard probe cap.
         flow_id: constant flow identity (vary per probe for classic
             traceroute behaviour under per-flow load balancing).
+        events: session-event bus; every wire probe emits
+            :class:`~repro.events.ProbeSent` when a sink is attached.
     """
 
-    def __init__(self, engine: Engine, vantage_host_id: str,
+    def __init__(self, network, vantage_host_id: str,
                  protocol: Protocol = Protocol.ICMP,
                  retries: int = 1,
                  use_cache: bool = True,
                  budget: Optional[ProbeBudget] = None,
                  flow_id: int = 0,
-                 max_ttl: int = 32):
-        if vantage_host_id not in engine.topology.hosts:
-            raise ValueError(f"unknown vantage host {vantage_host_id!r}")
-        self.engine = engine
-        self.vantage = engine.topology.hosts[vantage_host_id]
+                 max_ttl: int = 32,
+                 events: Optional[EventBus] = None):
+        self.transport = as_transport(network)
+        self.vantage_address = self.transport.source_address(vantage_host_id)
+        self.vantage_host_id = vantage_host_id
         self.protocol = protocol
         self.retries = retries
         self.use_cache = use_cache
         self.budget = budget
         self.flow_id = flow_id
         self.max_ttl = max_ttl
+        self.events = events if events is not None else EventBus()
         self.stats = ProbeStats()
         self._cache: Dict[CacheKey, Optional[Response]] = {}
+
+    @property
+    def engine(self):
+        """The underlying simulator engine, when the transport has one."""
+        return getattr(self.transport, "engine", None)
 
     # -- raw probe interface ------------------------------------------------
 
@@ -102,14 +113,27 @@ class Prober:
             self.budget.charge()
         self.stats.record_sent(phase)
         probe = Probe(
-            src=self.vantage.address,
+            src=self.vantage_address,
             dst=dst,
             ttl=ttl,
             protocol=self.protocol,
             flow_id=self.flow_id if flow_id is None else flow_id,
         )
-        response = self.engine.send(probe)
+        response = self.transport.send(probe)
         self.stats.record_outcome(response is not None)
+        if self.events:
+            self.events.emit(ProbeSent(
+                dst=dst,
+                ttl=ttl,
+                protocol=self.protocol.value,
+                flow_id=probe.flow_id,
+                phase=phase,
+                answered=response is not None,
+                response_kind=(response.kind.value
+                               if response is not None else None),
+                response_source=(response.source
+                                 if response is not None else None),
+            ))
         return response
 
     # -- measured quantities ---------------------------------------------------

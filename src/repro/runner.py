@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Set
 
 from .core.results import TraceResult
 from .core.tracenet import TraceNET
+from .events import CheckpointWritten, SurveyProgressed
 from .mapping.store import CollectionArchive, load_archive, save_archive
 from .probing.budget import ProbeBudgetExceeded
 
@@ -53,7 +54,11 @@ class SurveyRunner:
             completed targets and at the end.  None disables persistence.
         checkpoint_every: flush cadence.
         progress: optional callback invoked with the updated
-            :class:`SurveyProgress` after every target.
+            :class:`SurveyProgress` after every target.  Implemented as a
+            thin adapter over the tool's session-event bus: the runner
+            emits :class:`~repro.events.SurveyProgressed` events and the
+            adapter translates them back into callback invocations, so bus
+            sinks and legacy hooks observe the identical stream.
     """
 
     def __init__(self, tool: TraceNET,
@@ -64,6 +69,8 @@ class SurveyRunner:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = max(1, checkpoint_every)
         self.progress_hook = progress
+        if progress is not None:
+            self.tool.events.subscribe(self._hook_adapter)
         self.progress = SurveyProgress()
         self.traces: List[TraceResult] = []
         self._done_targets: Set[int] = set()
@@ -78,10 +85,11 @@ class SurveyRunner:
         with a second target list) must not inherit ``completed``/``skipped``
         from the previous call, or ``remaining`` goes negative.
         """
-        self.progress = SurveyProgress(
-            total_targets=len(targets),
-            probes_sent=self.tool.prober.stats.sent,
-        )
+        self.progress = SurveyProgress(total_targets=len(targets))
+        # Per-run delta, not the instance's lifetime total: a prober that
+        # already sent probes (an earlier run() call, a warm-up trace) must
+        # not inflate this run's count.
+        sent_before_run = self.tool.prober.stats.sent
         since_flush = 0
         try:
             for target in targets:
@@ -94,7 +102,8 @@ class SurveyRunner:
                 self._done_targets.add(target)
                 self.progress.completed += 1
                 self.progress.reached += int(result.reached)
-                self.progress.probes_sent = self.tool.prober.stats.sent
+                self.progress.probes_sent = (
+                    self.tool.prober.stats.sent - sent_before_run)
                 self._report()
                 since_flush += 1
                 if since_flush >= self.checkpoint_every:
@@ -121,6 +130,12 @@ class SurveyRunner:
         tmp_path = self.checkpoint_path + ".tmp"
         save_archive(tmp_path, archive)
         os.replace(tmp_path, self.checkpoint_path)
+        if self.tool.events:
+            self.tool.events.emit(CheckpointWritten(
+                path=self.checkpoint_path,
+                completed_targets=len(self._done_targets),
+                traces=len(self.traces),
+            ))
 
     @property
     def archive(self) -> CollectionArchive:
@@ -146,10 +161,21 @@ class SurveyRunner:
         self.traces = list(archive.traces)
         self._done_targets = set(archive.metadata.get("done_targets", []))
         for subnet in archive.subnets:
-            self.tool._register(subnet)
+            self.tool.register_subnet(subnet)
 
     def _report(self) -> None:
-        if self.progress_hook is not None:
+        if self.tool.events:
+            self.tool.events.emit(SurveyProgressed(
+                total_targets=self.progress.total_targets,
+                completed=self.progress.completed,
+                skipped=self.progress.skipped,
+                reached=self.progress.reached,
+                probes_sent=self.progress.probes_sent,
+            ))
+
+    def _hook_adapter(self, event) -> None:
+        """Bus → legacy callback: SurveyProgressed drives ``progress``."""
+        if isinstance(event, SurveyProgressed) and self.progress_hook is not None:
             self.progress_hook(self.progress)
 
 

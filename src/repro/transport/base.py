@@ -1,0 +1,74 @@
+"""The ProbeTransport seam: probe in, response out, backend unspecified.
+
+Everything above this line — the prober, tracenet, every baseline — sees
+the network exclusively through :class:`ProbeTransport`.  The simulator is
+one implementation; a raw-socket or scapy backend, a recorded journal, or
+a fault-injecting wrapper are others, and the algorithms cannot tell them
+apart.  This is the contract that makes collected data replayable and the
+collectors backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol as TypingProtocol, runtime_checkable
+
+from ..netsim.packet import Probe, Response
+
+
+@dataclass(frozen=True)
+class TransportCapabilities:
+    """What a transport backend can and cannot do.
+
+    Collectors consult this instead of sniffing concrete types: DisCarte
+    checks ``supports_record_route``, tests check ``deterministic``, and
+    tooling labels journals with ``name``.
+    """
+
+    name: str
+    deterministic: bool = True
+    supports_record_route: bool = True
+    live_network: bool = False
+    replayed: bool = False
+
+
+@runtime_checkable
+class ProbeTransport(TypingProtocol):
+    """Structural interface every probe backend satisfies."""
+
+    def send(self, probe: Probe) -> Optional[Response]:
+        """Emit one probe; return the response seen at the vantage, or None."""
+        ...
+
+    def capabilities(self) -> TransportCapabilities:
+        """Describe this backend."""
+        ...
+
+    def source_address(self, host_id: str) -> int:
+        """The IP address probes from ``host_id`` carry as their source.
+
+        Raises ``ValueError`` for a vantage this backend does not know.
+        """
+        ...
+
+    def close(self) -> None:
+        """Release backend resources (files, sockets); idempotent."""
+        ...
+
+
+def as_transport(network) -> ProbeTransport:
+    """Coerce an Engine-or-transport argument onto the seam.
+
+    Every collector constructor funnels its first argument through here, so
+    legacy ``Tool(engine, ...)`` call sites keep working while new code
+    passes any :class:`ProbeTransport` implementation directly.
+    """
+    if isinstance(network, ProbeTransport) and not isinstance(network, type):
+        return network
+    # Engine-shaped: has send() and a topology, but no capabilities().
+    if hasattr(network, "send") and hasattr(network, "topology"):
+        from .simulator import SimulatorTransport
+
+        return SimulatorTransport(network)
+    raise TypeError(
+        f"expected a ProbeTransport or a netsim Engine, got {type(network).__name__}")

@@ -1,0 +1,74 @@
+"""Seeded fault injection at the transport seam.
+
+Robustness tests need to answer "what does the collector do when the
+network misbehaves *more*?" without hand-crafting a hostile topology every
+time.  :class:`FaultInjectingTransport` wraps any backend and drops
+responses — uniformly at a seeded rate, or for specific blackholed
+destinations — before the prober sees them.  Because the drops happen above
+the backend, the same faults can be injected into a simulator run, a
+recorded journal, or (eventually) a live transport.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from ..netsim.packet import Probe, Response
+from .base import ProbeTransport, TransportCapabilities
+
+
+class FaultInjectingTransport:
+    """Drops responses on top of an inner transport, deterministically.
+
+    Args:
+        inner: the real backend.
+        drop_rate: probability (seeded) that any response is swallowed.
+        blackholes: destination addresses whose probes never get answers —
+            the probe still reaches the inner backend (it is "sent"), only
+            the answer is suppressed, like a filtering middlebox.
+        seed: RNG seed; identical seeds give identical drop sequences.
+    """
+
+    def __init__(self, inner: ProbeTransport, drop_rate: float = 0.0,
+                 blackholes: Iterable[int] = (), seed: int = 0):
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        self.inner = inner
+        self.drop_rate = drop_rate
+        self.blackholes = frozenset(blackholes)
+        self._rng = random.Random(seed)
+        self.injected_drops = 0
+        self.blackholed = 0
+
+    @property
+    def engine(self):
+        """The wrapped engine, when the inner transport exposes one."""
+        return getattr(self.inner, "engine", None)
+
+    def send(self, probe: Probe) -> Optional[Response]:
+        response = self.inner.send(probe)
+        if probe.dst in self.blackholes:
+            self.blackholed += 1
+            return None
+        if response is not None and self.drop_rate > 0.0 \
+                and self._rng.random() < self.drop_rate:
+            self.injected_drops += 1
+            return None
+        return response
+
+    def capabilities(self) -> TransportCapabilities:
+        inner = self.inner.capabilities()
+        return TransportCapabilities(
+            name=f"fault({inner.name})",
+            deterministic=inner.deterministic,
+            supports_record_route=inner.supports_record_route,
+            live_network=inner.live_network,
+            replayed=inner.replayed,
+        )
+
+    def source_address(self, host_id: str) -> int:
+        return self.inner.source_address(host_id)
+
+    def close(self) -> None:
+        self.inner.close()

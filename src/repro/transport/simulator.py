@@ -1,0 +1,45 @@
+"""The simulator backend: a ProbeTransport over :class:`~repro.netsim.engine.Engine`.
+
+This is the only module above the seam that touches the engine; collectors
+built from an ``Engine`` are silently wrapped in a
+:class:`SimulatorTransport` by :func:`~repro.transport.base.as_transport`,
+which keeps probe counts and archives bit-identical to the pre-seam code
+path (the wrapper adds nothing but the capability descriptor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netsim.engine import Engine
+from ..netsim.packet import Probe, Response
+from .base import TransportCapabilities
+
+_SIMULATOR_CAPS = TransportCapabilities(
+    name="simulator",
+    deterministic=True,
+    supports_record_route=True,
+    live_network=False,
+)
+
+
+class SimulatorTransport:
+    """Adapts the deterministic forwarding engine onto the transport seam."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+
+    def send(self, probe: Probe) -> Optional[Response]:
+        return self.engine.send(probe)
+
+    def capabilities(self) -> TransportCapabilities:
+        return _SIMULATOR_CAPS
+
+    def source_address(self, host_id: str) -> int:
+        hosts = self.engine.topology.hosts
+        if host_id not in hosts:
+            raise ValueError(f"unknown vantage host {host_id!r}")
+        return hosts[host_id].address
+
+    def close(self) -> None:
+        """The engine holds no external resources."""

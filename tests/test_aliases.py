@@ -1,6 +1,5 @@
 """Unit tests for alias resolution: union-find, analytical pairs, Ally."""
 
-import pytest
 
 from conftest import address_on
 from repro.aliases import (

@@ -7,7 +7,6 @@ memoized flow without re-walking the topology.  Flows crossing a per-packet
 load balancer are never memoized.
 """
 
-import pytest
 
 from conftest import address_on
 from repro.netsim import (

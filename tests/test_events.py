@@ -1,0 +1,240 @@
+"""Unit tests for the session-event stream, bus, and sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import TraceNET
+from repro.core.heuristics import ExplorationState, Judgement, Verdict
+from repro.events import (
+    CheckpointWritten,
+    CollectingSink,
+    CounterSink,
+    EventBus,
+    HeuristicFired,
+    HopObserved,
+    JsonlEventSink,
+    ProbeSent,
+    ProgressSink,
+    SubnetGrown,
+    SubnetPositioned,
+    SurveyProgressed,
+    TraceFinished,
+    TraceStarted,
+    event_from_dict,
+    event_to_dict,
+    replay_events,
+)
+from repro.probing import Prober
+from repro.runner import SurveyRunner
+from repro.topogen import internet2
+
+
+class TestEventBus:
+    def test_falsy_without_sinks(self):
+        bus = EventBus()
+        assert not bus
+        bus.subscribe(lambda e: None)
+        assert bus
+
+    def test_emit_order_and_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        first = bus.subscribe(lambda e: seen.append(("first", e)))
+        bus.subscribe(lambda e: seen.append(("second", e)))
+        event = TraceStarted(destination=1)
+        bus.emit(event)
+        assert [name for name, _ in seen] == ["first", "second"]
+        bus.unsubscribe(first)
+        bus.emit(event)
+        assert [name for name, _ in seen] == ["first", "second", "second"]
+
+    def test_scoped_subscription(self):
+        bus = EventBus()
+        sink = CollectingSink()
+        with bus.subscribed(sink):
+            bus.emit(TraceStarted(destination=9))
+        bus.emit(TraceStarted(destination=10))
+        assert [e.destination for e in sink.events] == [9]
+
+
+class TestSerialization:
+    def test_roundtrip_every_type(self):
+        samples = [
+            ProbeSent(dst=1, ttl=2, protocol="icmp", flow_id=0, phase="x",
+                      answered=True, response_kind="echo-reply",
+                      response_source=7),
+            HopObserved(destination=1, ttl=3, kind="router", address=5),
+            SubnetPositioned(trace_address=5, positioned=True, pivot=6,
+                             pivot_distance=3, on_trace_path=None),
+            HeuristicFired(candidate=8, rule="H2", verdict="stop-and-shrink",
+                           detail="d"),
+            SubnetGrown(pivot=6, prefix="10.0.0.4/31", size=2,
+                        stop_reason="prefix-floor", probes_used=11),
+            TraceFinished(destination=1, reached=True, hops=4,
+                          probes_sent=40),
+            CheckpointWritten(path="/tmp/x.json", completed_targets=3,
+                              traces=3),
+            SurveyProgressed(total_targets=10, completed=4, skipped=1,
+                             reached=3, probes_sent=99),
+        ]
+        for event in samples:
+            payload = event_to_dict(event)
+            assert payload["event"] == type(event).__name__
+            assert event_from_dict(json.loads(json.dumps(payload))) == event
+
+    def test_unknown_kind_fails(self):
+        with pytest.raises(ValueError, match="unknown session event"):
+            event_from_dict({"event": "Nonsense"})
+
+
+class TestSinks:
+    def test_counter_sink(self):
+        sink = CounterSink()
+        sink(TraceStarted(destination=1))
+        sink(HeuristicFired(candidate=1, rule="H5", verdict="add", detail=""))
+        sink(HeuristicFired(candidate=2, rule="H5", verdict="add", detail=""))
+        assert sink.counts["TraceStarted"] == 1
+        assert sink.rules == {"H5": 2}
+        assert sink.total == 3
+        assert sink.snapshot()["rule:H5"] == 2
+
+    def test_jsonl_sink_and_replay(self):
+        buffer = io.StringIO()
+        sink = JsonlEventSink(buffer)
+        sink(TraceStarted(destination=12))
+        sink(TraceFinished(destination=12, reached=False, hops=0,
+                           probes_sent=0))
+        sink.close()
+        buffer.seek(0)
+        events = replay_events(buffer)
+        assert events == [
+            TraceStarted(destination=12),
+            TraceFinished(destination=12, reached=False, hops=0,
+                          probes_sent=0),
+        ]
+
+    def test_progress_sink_renders_bar(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream=stream, width=10)
+        sink(SurveyProgressed(total_targets=4, completed=2, skipped=0,
+                              reached=2, probes_sent=50))
+        sink.close()
+        text = stream.getvalue()
+        assert "2/4 targets" in text
+        assert "#" in text
+
+
+class TestCollectorEmission:
+    def test_prober_emits_probe_sent(self, line_engine, line_topology):
+        prober = Prober(line_engine, "vantage")
+        sink = prober.events.subscribe(CollectingSink(ProbeSent))
+        destination = max(line_topology.all_interface_addresses)
+        prober.probe(destination, 1)
+        assert sink.events
+        assert sink.events[0].dst == destination
+        assert sink.events[0].ttl == 1
+
+    def test_cache_hits_do_not_emit(self, line_engine, line_topology):
+        prober = Prober(line_engine, "vantage")
+        counter = prober.events.subscribe(CounterSink())
+        destination = max(line_topology.all_interface_addresses)
+        prober.probe(destination, 1)
+        wire_probes = counter.counts.get("ProbeSent", 0)
+        prober.probe(destination, 1)  # cached
+        assert counter.counts.get("ProbeSent", 0) == wire_probes
+
+    def test_trace_emits_full_stream(self, lan_engine, lan_network):
+        tool = TraceNET(lan_engine, "vantage")
+        counter = tool.events.subscribe(CounterSink())
+        destination = min(
+            min(r.addresses) for r in lan_network.topology.routers.values())
+        tool.trace(destination)
+        assert counter.counts["TraceStarted"] == 1
+        assert counter.counts["TraceFinished"] == 1
+        assert counter.counts.get("HopObserved", 0) > 0
+        assert counter.counts.get("ProbeSent", 0) > 0
+        assert counter.counts.get("SubnetPositioned", 0) > 0
+        assert counter.counts.get("HeuristicFired", 0) > 0
+        assert counter.counts.get("SubnetGrown", 0) > 0
+
+    def test_no_sink_no_cost(self, lan_engine, lan_network):
+        tool = TraceNET(lan_engine, "vantage")
+        assert not tool.events  # nothing attached -> producers skip emission
+        destination = min(
+            min(r.addresses) for r in lan_network.topology.routers.values())
+        assert tool.trace(destination).hops
+
+
+class TestAuditAdapter:
+    """`ExplorationState.audit` is now a thin adapter over the bus."""
+
+    def test_audit_fed_through_bus(self, lan_engine):
+        prober = Prober(lan_engine, "vantage")
+        audit = []
+        state = ExplorationState(prober=prober, pivot=1, pivot_distance=2,
+                                 audit=audit)
+        judgement = Judgement(Verdict.ADD, "H5", "mate of pivot")
+        state.record(42, judgement)
+        assert audit == [(42, judgement)]
+        state.detach()
+        state.record(43, judgement)
+        assert len(audit) == 1
+
+    def test_bus_sinks_see_audited_judgements(self, lan_engine):
+        prober = Prober(lan_engine, "vantage")
+        sink = prober.events.subscribe(CollectingSink(HeuristicFired))
+        state = ExplorationState(prober=prober, pivot=1, pivot_distance=2)
+        state.record(7, Judgement(Verdict.STOP, "H6", "foreign router"))
+        assert sink.events == [HeuristicFired(
+            candidate=7, rule="H6", verdict="stop-and-shrink",
+            detail="foreign router")]
+
+
+class TestSurveyRunnerEvents:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return internet2.build(seed=13)
+
+    def make_tool(self, network):
+        from repro.netsim import Engine
+
+        return TraceNET(Engine(network.topology, policy=network.policy),
+                        "utdallas")
+
+    def test_progress_events_and_hook_agree(self, network):
+        tool = self.make_tool(network)
+        targets = internet2.targets(network, seed=13)[:5]
+        hook_calls = []
+        runner = SurveyRunner(tool,
+                              progress=lambda p: hook_calls.append(p.completed))
+        sink = tool.events.subscribe(CollectingSink(SurveyProgressed))
+        runner.run(targets)
+        assert len(hook_calls) == len(targets)
+        assert len(sink.events) == len(targets)
+        assert sink.events[-1].completed == len(targets)
+
+    def test_checkpoint_event(self, network, tmp_path):
+        tool = self.make_tool(network)
+        targets = internet2.targets(network, seed=13)[:3]
+        sink = tool.events.subscribe(CollectingSink(CheckpointWritten))
+        path = str(tmp_path / "survey.json")
+        SurveyRunner(tool, checkpoint_path=path, checkpoint_every=2)\
+            .run(targets)
+        assert sink.events
+        assert sink.events[-1].path == path
+        assert sink.events[-1].completed_targets == len(targets)
+
+    def test_probes_sent_is_per_run_delta(self, network):
+        tool = self.make_tool(network)
+        targets = internet2.targets(network, seed=13)
+        runner = SurveyRunner(tool)
+        first = runner.run(targets[:4])
+        assert first.probes_sent > 0
+        # A second run over fresh targets must not inherit the first
+        # run's probe count (regression: it reported the lifetime total).
+        second = runner.run(targets[4:6])
+        assert second.probes_sent > 0
+        assert (first.probes_sent + second.probes_sent
+                == tool.prober.stats.sent)

@@ -5,7 +5,7 @@ import pytest
 from conftest import address_on
 from repro.core.exploration import explore_subnet, unpositioned_subnet
 from repro.core.positioning import position_subnet
-from repro.netsim import Engine, Prefix, ResponsePolicy, TopologyBuilder
+from repro.netsim import Engine, ResponsePolicy, TopologyBuilder
 from repro.probing import Prober
 
 

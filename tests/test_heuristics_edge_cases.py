@@ -11,12 +11,11 @@ from repro.core.heuristics import (
     ExplorationState,
     Verdict,
     _passes_h4,
-    evaluate_candidate,
     heuristic_h5,
 )
 from repro.core.positioning import position_subnet
 from repro.netsim import Engine, TopologyBuilder
-from repro.netsim.addressing import mate30, mate31, parse_ip
+from repro.netsim.addressing import mate30, mate31
 from repro.netsim.router import IndirectConfig
 from repro.probing import Prober
 

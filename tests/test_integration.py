@@ -1,7 +1,5 @@
 """End-to-end integration tests: the paper's experiments in miniature."""
 
-import random
-from collections import Counter
 
 import pytest
 

@@ -1,0 +1,70 @@
+"""Layer-boundary contract: collectors speak to the network only through
+the ProbeTransport seam.
+
+An import-linter-equivalent check: modules in ``repro.core``,
+``repro.baselines`` and ``repro.probing`` must not import
+``repro.netsim.engine`` — the simulator is an implementation detail behind
+:class:`repro.transport.SimulatorTransport`, and any direct import would
+quietly re-couple the collector layers to it.
+"""
+
+import ast
+import pathlib
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+SEALED_PACKAGES = ("core", "baselines", "probing")
+
+FORBIDDEN_MODULE = "repro.netsim.engine"
+
+
+def sealed_modules():
+    for package in SEALED_PACKAGES:
+        for path in sorted((SRC_ROOT / package).rglob("*.py")):
+            yield path
+
+
+def imported_modules(path):
+    """Absolute names of every module a file imports, with relative
+    imports resolved against its package."""
+    package_parts = ("repro",) + path.relative_to(SRC_ROOT).parts[:-1]
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package_parts[:len(package_parts) - node.level + 1]
+                module = ".".join(base + ((node.module,) if node.module
+                                          else ()))
+            else:
+                module = node.module or ""
+            yield module
+            # `from X import engine` imports X.engine just as surely.
+            for alias in node.names:
+                yield f"{module}.{alias.name}"
+
+
+def test_sealed_packages_never_import_the_engine():
+    violations = []
+    for path in sealed_modules():
+        for module in imported_modules(path):
+            if module == FORBIDDEN_MODULE:
+                violations.append(
+                    f"{path.relative_to(SRC_ROOT.parent)} imports {module}")
+    assert not violations, (
+        "collector layers must depend on repro.transport, not the "
+        "simulator directly:\n" + "\n".join(violations))
+
+
+def test_the_check_sees_the_sealed_files():
+    # Guard against the walk silently matching nothing (e.g. after a
+    # package rename), which would make the contract test vacuous.
+    paths = list(sealed_modules())
+    assert len(paths) >= 10
+    names = {p.name for p in paths}
+    assert {"tracenet.py", "heuristics.py", "prober.py",
+            "traceroute.py"} <= names

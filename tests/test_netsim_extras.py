@@ -1,7 +1,6 @@
 """Tests for the engine's IP-ID models, wire-byte accounting, record-route
 plumbing, generator variety knobs, and other substrate details."""
 
-import pytest
 
 from conftest import address_on
 from repro.netsim import Engine, IpIdMode, Probe, Protocol, TopologyBuilder

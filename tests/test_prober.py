@@ -7,7 +7,6 @@ from conftest import address_on
 from repro.netsim import (
     DEFAULT_TTL,
     Engine,
-    Protocol,
     ResponsePolicy,
     TopologyBuilder,
 )

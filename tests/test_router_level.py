@@ -1,6 +1,5 @@
 """Unit tests for router-level map construction and scoring."""
 
-import pytest
 
 from repro.core.results import ObservedSubnet
 from repro.evaluation import (

@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.netsim import Engine, Prefix
+from repro.netsim import Engine
 from repro.topogen import (
     NetworkBlueprint,
     add_vantage,
