@@ -4,24 +4,65 @@ Paper: exploring an on-path point-to-point subnet costs as little as 4
 probes; the worst case for a multi-access LAN is ``7|S| + 7``.  Measured
 costs (which additionally pay for silence retries and boundary probes) must
 stay within the model.
+
+The sweep runs with the live probe-economy auditor attached, so the bench
+doubles as an auditor regression: these tame single-LAN topologies must
+audit clean (``overhead_violations_total == 0``).  Results — the per-size
+points plus the full metrics-registry snapshot — land in
+``BENCH_overhead_model.json`` at the repo root for machine consumption.
 """
 
-from conftest import write_artifact
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
 from repro import experiments
 from repro.core import overhead
+from repro.metrics import MetricsRegistry
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_overhead_model.json")
 
 SIZES = (2, 4, 6, 8, 10, 14, 22, 30, 60)
 
 
-def test_overhead_model(benchmark):
-    outcome = benchmark.pedantic(experiments.run_overhead_sweep,
-                                 kwargs=dict(sizes=SIZES),
-                                 rounds=1, iterations=1)
-    text = outcome.render()
-    print()
-    print(text)
-    write_artifact("overhead_model.txt", text)
+def run(sizes=SIZES):
+    """One instrumented sweep; returns (outcome, registry, result dict)."""
+    registry = MetricsRegistry()
+    outcome = experiments.run_overhead_sweep(sizes=sizes, metrics=registry)
+    result = {
+        "bench": "overhead_model",
+        "sizes": list(sizes),
+        "points": [
+            {
+                "subnet_size": point.subnet_size,
+                "measured_probes": point.measured_probes,
+                "lower_bound": point.lower_bound,
+                "upper_bound": point.upper_bound,
+                "within_model": point.within_model,
+            }
+            for point in outcome.points
+        ],
+        "all_within_model": all(p.within_model for p in outcome.points),
+        "overhead_checks": registry.value("overhead_checks_total"),
+        "overhead_violations": registry.value("overhead_violations_total"),
+        "worst_case_probability_s8": overhead.worst_case_probability(8),
+        "metrics": registry.full_snapshot(),
+    }
+    return outcome, registry, result
 
+
+def write_result(result: dict) -> str:
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return RESULT_PATH
+
+
+def check(outcome, registry) -> None:
     assert all(point.within_model for point in outcome.points)
     # Cost grows roughly linearly in |S| (the model's 7|S|+7 shape): the
     # per-member cost stays bounded as subnets grow.
@@ -32,3 +73,39 @@ def test_overhead_model(benchmark):
     assert per_member_big <= per_member_small * 1.5
     # The worst-case layout the upper bound guards against is rare.
     assert overhead.worst_case_probability(8) < 1e-3
+    # The live auditor saw every explored subnet and flagged none.
+    assert registry.value("overhead_checks_total") == len(outcome.points)
+    assert registry.value("overhead_violations_total") == 0
+
+
+def test_overhead_model(benchmark):
+    from conftest import write_artifact
+
+    outcome, registry, result = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    text = outcome.render()
+    print()
+    print(text)
+    write_artifact("overhead_model.txt", text)
+    write_result(result)
+    check(outcome, registry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default=",".join(str(s) for s in SIZES),
+                        help="comma-separated subnet sizes")
+    args = parser.parse_args(argv)
+    sizes = tuple(int(part) for part in args.sizes.split(",") if part)
+    outcome, registry, result = run(sizes=sizes)
+    path = write_result(result)
+    check(outcome, registry)
+    print(outcome.render())
+    print(f"auditor: {result['overhead_checks']} subnets checked, "
+          f"{result['overhead_violations']} violations")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,11 +28,13 @@ import sys
 import time
 
 from repro.core import TraceNET
+from repro.metrics import MetricsRegistry
 from repro.netsim import Engine
 from repro.netsim.packet import Probe
 from repro.parallel import ShardedSurveyRunner, archives_equivalent
 from repro.runner import SurveyRunner
 from repro.topogen import internet2
+from repro.transport import collect_backend_metrics
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_survey_throughput.json")
@@ -101,14 +103,16 @@ def engine_probe_rates(network, targets, reps: int = 5) -> dict:
     return lanes
 
 
-def serial_survey(network, targets, path_cache: bool):
+def serial_survey(network, targets, path_cache: bool, metrics=None):
     engine = Engine(network.topology, policy=network.policy,
                     path_cache=path_cache)
     tool = TraceNET(engine, "utdallas")
-    runner = SurveyRunner(tool)
+    runner = SurveyRunner(tool, metrics=metrics)
     started = time.perf_counter()
     runner.run(targets)
     elapsed = time.perf_counter() - started
+    if metrics is not None:
+        collect_backend_metrics(metrics.backend, tool.transport)
     sent = tool.prober.stats.sent
     lane = {
         "probes": sent,
@@ -165,9 +169,20 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
     survey_slow, _ = serial_survey(network, targets, path_cache=False)
     survey_fast, serial_archive = serial_survey(network, targets,
                                                 path_cache=True)
+    # Same fastpath configuration with the metrics registry + auditor
+    # attached: the rate delta against the bare lane is the measured cost
+    # of event emission, and the registry snapshot lands in the artifact.
+    registry = MetricsRegistry()
+    survey_metered, metered_archive = serial_survey(network, targets,
+                                                    path_cache=True,
+                                                    metrics=registry)
     survey_parallel, parallel_archive = parallel_survey(network, targets,
                                                         workers=workers)
     parallel_equal = archives_equivalent(serial_archive, parallel_archive)
+    metered_equal = archives_equivalent(serial_archive, metered_archive)
+    instrumentation_overhead = round(
+        1 - (survey_metered["probes_per_sec"]
+             / max(1e-9, survey_fast["probes_per_sec"])), 4)
 
     speedup = (engine_fast["probes_per_sec"]
                / max(1e-9, engine_serial["probes_per_sec"]))
@@ -188,9 +203,18 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
         "survey": {
             "serial": survey_slow,
             "fastpath": survey_fast,
+            "instrumented": survey_metered,
             "parallel": survey_parallel,
         },
         "parallel_equals_serial": parallel_equal,
+        "instrumented_equals_serial": metered_equal,
+        # Fractional survey-rate cost of attaching the registry + auditor.
+        "instrumentation_overhead": instrumentation_overhead,
+        # Full registry of the instrumented lane: session metrics
+        # (counters/histograms from the event stream, auditor included)
+        # plus the engine's backend counters and timing spans.
+        "metrics": registry.full_snapshot(),
+        "overhead_violations": registry.value("overhead_violations_total"),
     }
     return result
 
@@ -205,8 +229,16 @@ def write_result(result: dict) -> str:
 def check(result: dict, smoke: bool) -> None:
     assert result["parallel_equals_serial"], (
         "parallel archive diverged from the serial archive")
+    assert result["instrumented_equals_serial"], (
+        "attaching metrics changed the collected archive")
     assert result["engine"]["fastpath"]["hit_rate"] > 0, (
         "fast path never hit — cache not engaged")
+    assert result["overhead_violations"] == 0, (
+        "the reference survey tripped the probe-economy auditor")
+    session = result["metrics"]["metrics"]["counters"]
+    backend = result["metrics"]["backend"]["gauges"]
+    assert session["probes_sent_total"] == backend["engine_probes_sent"], (
+        "event-stream probe count diverged from the engine's own counter")
     if not smoke:
         assert result["fastpath_speedup"] >= 2.0, (
             f"fast path is only {result['fastpath_speedup']}x serial")
@@ -238,6 +270,10 @@ def main(argv=None) -> int:
           f"-> fastpath {result['survey']['fastpath']['probes_per_sec']:.0f} "
           f"-> parallel {rates['parallel']:.0f} "
           f"({result['survey']['parallel']['workers']} workers)")
+    print(f"instrumented survey: "
+          f"{result['survey']['instrumented']['probes_per_sec']:.0f} "
+          f"probes/sec ({result['instrumentation_overhead']:.1%} metrics "
+          f"overhead), {result['overhead_violations']} auditor violations")
     print(f"parallel archive equals serial: "
           f"{result['parallel_equals_serial']}")
     print(f"wrote {path}")

@@ -40,9 +40,20 @@ from .evaluation import (
     venn_regions,
 )
 from .events import JsonlEventSink, ProgressSink
+from .metrics import (
+    MetricsRegistry,
+    instrument,
+    render_prometheus,
+    stats_from_journal,
+)
 from .netsim import Engine, Protocol, format_ip, ip
 from .topogen import build_internet, figures, geant, internet2
-from .transport import RecordingTransport, ReplayTransport, SimulatorTransport
+from .transport import (
+    RecordingTransport,
+    ReplayTransport,
+    SimulatorTransport,
+    collect_backend_metrics,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -132,7 +143,43 @@ def build_parser() -> argparse.ArgumentParser:
     export_cmd.add_argument("--seed", type=int, default=7)
     export_cmd.add_argument("--out", required=True, metavar="PATH")
     export_cmd.set_defaults(handler=cmd_export)
+
+    stats_cmd = subparsers.add_parser(
+        "stats", help="replay a probe journal offline and print its metrics")
+    stats_cmd.add_argument("journal", metavar="JOURNAL",
+                           help="a JSONL probe journal written by --record")
+    stats_cmd.add_argument("--source", default=None,
+                           help="vantage host id (default: from the journal)")
+    stats_cmd.add_argument("--dest", default=None,
+                           help="destination IP override (default: from the "
+                                "journal metadata)")
+    stats_cmd.add_argument("--format", choices=("json", "prometheus"),
+                           default="json", dest="metrics_format")
+    stats_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="write the metrics there instead of stdout")
+    stats_cmd.set_defaults(handler=cmd_stats)
     return parser
+
+
+def _maybe_time(registry: Optional[MetricsRegistry], name: str):
+    """A timing span when metrics are on, a no-op context otherwise."""
+    from contextlib import nullcontext
+
+    return registry.time(name) if registry is not None else nullcontext()
+
+
+def _write_metrics(registry: MetricsRegistry, path: str, fmt: str) -> None:
+    """Render a registry as JSON or Prometheus text, to a file or stdout."""
+    if fmt == "prometheus":
+        payload = render_prometheus(registry)
+    else:
+        payload = json.dumps(registry.full_snapshot(), indent=2,
+                             sort_keys=True) + "\n"
+    if path == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(payload)
 
 
 def _add_transport_options(command: argparse.ArgumentParser) -> None:
@@ -146,6 +193,12 @@ def _add_transport_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--events", default=None, metavar="PATH",
                          help="write the session-event stream to this "
                               "JSONL file")
+    command.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write the run's metrics registry there "
+                              "('-' for stdout)")
+    command.add_argument("--metrics-format", choices=("json", "prometheus"),
+                         default="json",
+                         help="metrics file format (default: json)")
 
 
 def cmd_trace(args) -> int:
@@ -182,12 +235,21 @@ def cmd_trace(args) -> int:
     event_sink = None
     if args.events:
         event_sink = tool.events.subscribe(JsonlEventSink(args.events))
+    registry = None
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        instrument(tool.events, registry=registry)
     try:
-        result = tool.trace(destination)
+        with _maybe_time(registry, "collection_seconds"):
+            result = tool.trace(destination)
+        if registry is not None:
+            collect_backend_metrics(registry.backend, transport)
     finally:
         if event_sink is not None:
             event_sink.close()
         transport.close()
+    if registry is not None:
+        _write_metrics(registry, args.metrics_out, args.metrics_format)
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -232,6 +294,10 @@ def cmd_survey(args) -> int:
         probes_sent = outcome.stats.sent
         mode = (f"{outcome.workers} shard(s)"
                 + (", inline" if outcome.executed_inline else ""))
+        if args.metrics_out:
+            # The merged view: per-shard registries summed in shard order.
+            _write_metrics(outcome.metrics, args.metrics_out,
+                           args.metrics_format)
     else:
         if args.replay:
             # The journal stands in for the network: no Engine at all.
@@ -255,14 +321,19 @@ def cmd_survey(args) -> int:
             sinks.append(tool.events.subscribe(JsonlEventSink(args.events)))
         if args.progress:
             sinks.append(tool.events.subscribe(ProgressSink()))
+        registry = MetricsRegistry() if args.metrics_out else None
         try:
             from .runner import SurveyRunner
 
-            SurveyRunner(tool).run(target_list)
+            SurveyRunner(tool, metrics=registry).run(target_list)
+            if registry is not None:
+                collect_backend_metrics(registry.backend, transport)
         finally:
             for sink in sinks:
                 sink.close()
             transport.close()
+        if registry is not None:
+            _write_metrics(registry, args.metrics_out, args.metrics_format)
         subnets = tool.collected_subnets
         probes_sent = tool.prober.stats.sent
     report = match_subnets(network.ground_truth,
@@ -388,6 +459,26 @@ def cmd_export(args) -> int:
     print(f"exported {args.network} (seed {args.seed}) to {args.out}")
     print(f"  {network.topology.summary()}")
     print(f"  {network.policy.describe()}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    try:
+        stats = stats_from_journal(
+            args.journal,
+            vantage=args.source,
+            destination=ip(args.dest) if args.dest else None,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 2
+    print(stats.describe(), file=sys.stderr)
+    if args.out:
+        _write_metrics(stats.registry, args.out, args.metrics_format)
+        print(f"wrote {args.metrics_format} metrics to {args.out}",
+              file=sys.stderr)
+    else:
+        _write_metrics(stats.registry, "-", args.metrics_format)
     return 0
 
 

@@ -94,6 +94,8 @@ def explore_subnet(prober: Prober, position: SubnetPosition,
             size=len(members),
             stop_reason=stop_reason,
             probes_used=after.sent - before.sent,
+            phase_probes=after.phase_delta(before),
+            candidates_tested=len(tested),
         ))
     return ObservedSubnet(
         pivot=position.pivot,

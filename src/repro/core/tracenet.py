@@ -135,6 +135,7 @@ class TraceNET:
                 reached=result.reached,
                 hops=len(result.hops),
                 probes_sent=result.probes_sent,
+                cache_hits=self.prober.stats.cache_hits - before.cache_hits,
             ))
         return result
 

@@ -34,7 +34,14 @@ class SessionEvent:
 
 @dataclass(frozen=True)
 class ProbeSent(SessionEvent):
-    """One probe actually put on the wire (cache hits do not emit)."""
+    """One probe actually put on the wire (cache hits emit :class:`CacheHit`).
+
+    The count of these events reconciles exactly with
+    ``Engine.stats.probes_sent`` on a simulator run: every wire probe emits
+    one, and only answers served from the prober's response cache do not —
+    those emit :class:`CacheHit` instead, so event-derived totals add up to
+    the prober's ``sent + cache_hits``.
+    """
 
     dst: int
     ttl: int
@@ -44,6 +51,18 @@ class ProbeSent(SessionEvent):
     answered: bool
     response_kind: Optional[str]
     response_source: Optional[int]
+
+
+@dataclass(frozen=True)
+class CacheHit(SessionEvent):
+    """A probe answered from the prober's response cache — nothing hit the
+    wire.  Without this event, event-derived probe totals undercount the
+    prober's view (``ProbeStats.cache_hits``) and offline analytics cannot
+    reconcile with live engine counters."""
+
+    dst: int
+    ttl: int
+    phase: Optional[str]
 
 
 @dataclass(frozen=True)
@@ -88,13 +107,27 @@ class SubnetShrunk(SessionEvent):
 
 @dataclass(frozen=True)
 class SubnetGrown(SessionEvent):
-    """Algorithm 1 finished: one observed subnet, ready for the archive."""
+    """Algorithm 1 finished: one observed subnet, ready for the archive.
+
+    ``phase_probes`` attributes the wire probes spent growing this subnet
+    to the algorithm phase that issued them (trace-collection, positioning,
+    exploration) — the per-subnet probe accounting the Section 3.6 economy
+    auditor checks against the ``7|S| + 7`` bound.  ``candidates_tested``
+    counts every address the exploration actually probed, members or not:
+    a mostly-silent block legitimately costs more than ``7|size| + 7``
+    while staying under the worst case over the candidates touched, so the
+    auditor bounds against ``max(size, candidates_tested)``.  Both fields
+    are absent (``None``/``0``) on event streams recorded before they
+    existed.
+    """
 
     pivot: int
     prefix: str
     size: int
     stop_reason: str
     probes_used: int
+    phase_probes: Optional[Dict[str, int]] = None
+    candidates_tested: int = 0
 
 
 @dataclass(frozen=True)
@@ -106,12 +139,36 @@ class TraceStarted(SessionEvent):
 
 @dataclass(frozen=True)
 class TraceFinished(SessionEvent):
-    """A tracenet session ended (reached, looped, or gave up)."""
+    """A tracenet session ended (reached, looped, or gave up).
+
+    ``cache_hits`` counts the probes this trace answered from the prober's
+    response cache instead of the wire (0 on pre-field event streams).
+    """
 
     destination: int
     reached: bool
     hops: int
     probes_sent: int
+    cache_hits: int = 0
+
+
+@dataclass(frozen=True)
+class OverheadViolation(SessionEvent):
+    """The probe-economy auditor caught a subnet exceeding the Section 3.6
+    bound: growing it cost more than ``slack * (7|S| + 7)`` wire probes.
+
+    Emitted onto the same bus as every other event, so a recorded event
+    stream carries its own economy audit and ``overhead_violations_total``
+    reproduces offline.
+    """
+
+    pivot: int
+    prefix: str
+    size: int
+    probes_used: int
+    upper_bound: int
+    slack: float
+    phase_probes: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)
@@ -138,9 +195,9 @@ class SurveyProgressed(SessionEvent):
 EVENT_TYPES: Dict[str, Type[SessionEvent]] = {
     cls.__name__: cls
     for cls in (
-        ProbeSent, HopObserved, SubnetPositioned, HeuristicFired,
+        ProbeSent, CacheHit, HopObserved, SubnetPositioned, HeuristicFired,
         SubnetShrunk, SubnetGrown, TraceStarted, TraceFinished,
-        CheckpointWritten, SurveyProgressed,
+        CheckpointWritten, SurveyProgressed, OverheadViolation,
     )
 }
 

@@ -280,8 +280,15 @@ class OverheadOutcome:
         return "\n".join(lines)
 
 
-def run_overhead_sweep(sizes=(2, 4, 6, 8, 10, 14, 22, 30)) -> OverheadOutcome:
-    """Explore single LANs of growing size and meter the probe cost."""
+def run_overhead_sweep(sizes=(2, 4, 6, 8, 10, 14, 22, 30),
+                       metrics=None) -> OverheadOutcome:
+    """Explore single LANs of growing size and meter the probe cost.
+
+    ``metrics`` (a :class:`repro.metrics.MetricsRegistry`) attaches the
+    metrics sink and probe-economy auditor to every per-size prober, so a
+    sweep doubles as an auditor regression: topologies this tame must
+    produce zero ``overhead_violations_total``.
+    """
     from .core.exploration import explore_subnet
     from .core.positioning import position_subnet
     from .netsim import TopologyBuilder
@@ -306,6 +313,10 @@ def run_overhead_sweep(sizes=(2, 4, 6, 8, 10, 14, 22, 30)) -> OverheadOutcome:
         topology = builder.build()
         engine = Engine(topology)
         prober = Prober(engine, "v")
+        if metrics is not None:
+            from .metrics import instrument
+
+            instrument(prober.events, registry=metrics)
         pivot = topology.routers[members[1]].interface_on(lan.subnet_id).address
         entry = [i.address for i in topology.routers["R2"].interfaces
                  if i.subnet_id != lan.subnet_id][0]

@@ -1,0 +1,155 @@
+"""Offline journal analytics: rebuild a live run's metrics from its journal.
+
+A probe journal (``--record``) is a complete transcript of one collection
+session.  Replaying it through the *real* collector — the same
+:class:`~repro.core.tracenet.TraceNET`, the same prober, the same event
+stream, just a :class:`~repro.transport.ReplayTransport` instead of a
+network — reproduces the exact session-event sequence of the original run,
+and therefore the exact metrics registry.  That is what ``tracenet stats``
+does: every archived journal becomes a queryable measurement artifact,
+years after the run, with no simulator (or network) involved.
+
+The run shape is resolved from the journal header metadata written by the
+CLI: a ``destination`` entry means a single trace session, a ``network`` +
+``seed`` entry means a survey whose target list is regenerated from the
+named scenario module.  Both can be overridden by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Union
+
+from ..core.tracenet import TraceNET
+from ..events import EventBus, SessionEvent
+from ..runner import SurveyRunner
+from ..transport import ProbeTransport, ReplayTransport
+from ..transport.base import collect_backend_metrics
+from .auditor import DEFAULT_SLACK, ProbeEconomyAuditor
+from .registry import MetricsRegistry
+from .sink import MetricsSink
+
+
+def registry_from_events(events: Iterable[SessionEvent],
+                         audit: bool = False,
+                         slack: float = DEFAULT_SLACK) -> MetricsRegistry:
+    """Metrics from an already-captured event stream (e.g. ``--events``).
+
+    ``audit=True`` re-runs the probe-economy auditor over the stream; only
+    enable it for streams recorded *without* an auditor attached, or
+    violations are counted twice.
+    """
+    registry = MetricsRegistry()
+    bus = EventBus()
+    bus.subscribe(MetricsSink(registry))
+    if audit:
+        bus.subscribe(ProbeEconomyAuditor(bus, slack=slack))
+    for event in events:
+        bus.emit(event)
+    return registry
+
+
+def instrumented_collection(transport: ProbeTransport, vantage: str,
+                            destination: Optional[int] = None,
+                            targets: Optional[Sequence[int]] = None,
+                            registry: Optional[MetricsRegistry] = None,
+                            slack: float = DEFAULT_SLACK) -> MetricsRegistry:
+    """Run one collection (trace or survey) with full instrumentation.
+
+    Exactly one of ``destination`` (a single tracenet session) and
+    ``targets`` (a survey) must be given.  The transport's backend counters
+    are captured into the registry's backend scope after the run.
+    """
+    if (destination is None) == (targets is None):
+        raise ValueError("pass exactly one of destination= or targets=")
+    registry = registry if registry is not None else MetricsRegistry()
+    tool = TraceNET(transport, vantage)
+    tool.events.subscribe(MetricsSink(registry))
+    tool.events.subscribe(ProbeEconomyAuditor(tool.events, slack=slack))
+    with registry.time("collection_seconds"):
+        if destination is not None:
+            tool.trace(destination)
+        else:
+            SurveyRunner(tool).run(list(targets))
+    collect_backend_metrics(registry.backend, transport)
+    return registry
+
+
+@dataclass
+class JournalStats:
+    """What ``tracenet stats`` computed for one journal."""
+
+    registry: MetricsRegistry
+    mode: str                      # "trace" or "survey"
+    vantage: str
+    metadata: Dict
+    destination: Optional[int] = None
+    targets: List[int] = field(default_factory=list)
+    exchanges_served: int = 0
+    exchanges_remaining: int = 0
+
+    def describe(self) -> str:
+        what = ("1 trace" if self.mode == "trace"
+                else f"{len(self.targets)} survey targets")
+        return (f"replayed {what} from vantage {self.vantage!r}: "
+                f"{self.exchanges_served} journaled exchanges served, "
+                f"{self.exchanges_remaining} unused")
+
+
+def stats_from_journal(source: Union[str, IO],
+                       vantage: Optional[str] = None,
+                       destination: Optional[int] = None,
+                       targets: Optional[Sequence[int]] = None,
+                       slack: float = DEFAULT_SLACK) -> JournalStats:
+    """Replay a recorded probe journal offline and rebuild its registry.
+
+    Overrides win over journal metadata; with neither, the journal must
+    have been recorded by ``tracenet trace --record`` (names its
+    destination) or ``tracenet survey --record`` (names network + seed, so
+    the target list is regenerated deterministically).
+    """
+    transport = ReplayTransport(source)
+    metadata = transport.metadata
+    vantage = vantage or metadata.get("source") or metadata.get("vantage")
+    if vantage is None:
+        raise ValueError("the journal names no vantage; pass vantage=")
+    if destination is None and targets is None:
+        destination, targets = _resolve_run_shape(metadata)
+    registry = instrumented_collection(
+        transport, vantage, destination=destination, targets=targets,
+        slack=slack)
+    return JournalStats(
+        registry=registry,
+        mode="trace" if destination is not None else "survey",
+        vantage=vantage,
+        metadata=dict(metadata),
+        destination=destination,
+        targets=list(targets or []),
+        exchanges_served=transport.cursor,
+        exchanges_remaining=transport.remaining,
+    )
+
+
+def _resolve_run_shape(metadata: Dict):
+    """(destination, targets) from journal metadata, one of them None."""
+    dest_text = metadata.get("destination")
+    if dest_text is not None:
+        from ..netsim.addressing import parse_ip
+
+        return parse_ip(dest_text), None
+    network_name = metadata.get("network")
+    if network_name is not None:
+        from ..topogen import geant, internet2
+
+        modules = {"internet2": internet2, "geant": geant}
+        module = modules.get(network_name)
+        if module is None:
+            raise ValueError(
+                f"journal names unknown network {network_name!r}; pass "
+                f"targets= explicitly")
+        seed = metadata.get("seed", 7)
+        network = module.build(seed=seed)
+        return None, module.targets(network, seed=seed)
+    raise ValueError(
+        "journal metadata names neither a destination nor a network; "
+        "pass destination= or targets= explicitly")

@@ -1,0 +1,96 @@
+"""Prometheus text-exposition rendering of a metrics registry.
+
+Renders the 0.0.4 text format (the one every Prometheus scraper and
+``promtool`` accepts): ``# HELP``/``# TYPE`` headers per metric family,
+label sets rendered inline, histograms expanded into cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``.  Backend-scope metrics
+are exposed too (prefixed ``backend_``) — exposition is an operational
+surface, not an archival payload, so replay parity does not constrain it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .registry import Counter, Gauge, Histogram, LabelItems, MetricsRegistry
+
+#: Every exposed metric name is prefixed with this namespace.
+NAMESPACE = "tracenet"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labels_text(labels: LabelItems, extra: Optional[Dict] = None) -> str:
+    items = [(k, v) for k, v in labels]
+    if extra:
+        items.extend(extra.items())
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return f"{{{inner}}}"
+
+
+def _format_bound(bound: float) -> str:
+    text = repr(float(bound))
+    return text[:-2] if text.endswith(".0") else text
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      namespace: str = NAMESPACE) -> str:
+    """The registry (session + backend scope) as Prometheus text format."""
+    lines: List[str] = []
+    _render_scope(lines, registry, namespace, registry.help_text)
+    if registry.backend is not None:
+        _render_scope(lines, registry.backend, f"{namespace}_backend",
+                      registry.backend.help_text)
+    for name, span in sorted(registry.timings.items()):
+        full = f"{namespace}_timing_{name}"
+        lines.append(f"# TYPE {full}_seconds gauge")
+        lines.append(f"{full}_seconds {_format_value(span['seconds'])}")
+        lines.append(f"# TYPE {full}_count gauge")
+        lines.append(f"{full}_count {span['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _render_scope(lines: List[str], registry: MetricsRegistry,
+                  namespace: str, help_of) -> None:
+    families: Dict[str, List] = {}
+    for metric in registry.series():
+        families.setdefault(metric.name, []).append(metric)
+    for name in sorted(families):
+        metrics = families[name]
+        kind = metrics[0].kind
+        full = f"{namespace}_{name}"
+        help_text = help_of(name)
+        if help_text:
+            lines.append(f"# HELP {full} {_escape(help_text)}")
+        lines.append(f"# TYPE {full} {kind}")
+        for metric in metrics:
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{full}{_labels_text(metric.labels)} "
+                             f"{_format_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    cumulative += count
+                    labels = _labels_text(metric.labels,
+                                          {"le": _format_bound(bound)})
+                    lines.append(f"{full}_bucket{labels} {cumulative}")
+                cumulative += metric.overflow
+                labels = _labels_text(metric.labels, {"le": "+Inf"})
+                lines.append(f"{full}_bucket{labels} {cumulative}")
+                lines.append(f"{full}_sum{_labels_text(metric.labels)} "
+                             f"{_format_value(metric.sum)}")
+                lines.append(f"{full}_count{_labels_text(metric.labels)} "
+                             f"{metric.count}")

@@ -1,0 +1,343 @@
+"""A deterministic metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order of importance:
+
+1. **Replay parity.**  Everything in the default :meth:`MetricsRegistry.snapshot`
+   payload must be a pure function of the session-event stream, so a live
+   run, a :class:`~repro.transport.ReplayTransport` replay of its journal,
+   and ``tracenet stats`` over the same journal produce *identical*
+   snapshots.  Wall-clock material is quarantined: monotonic timing spans
+   live in :attr:`MetricsRegistry.timings` and backend implementation
+   counters (engine path cache, transport internals) in
+   :attr:`MetricsRegistry.backend`; both appear only in
+   :meth:`MetricsRegistry.full_snapshot`.
+2. **Mergeability.**  Parallel sharded surveys produce one registry per
+   worker process; :meth:`MetricsRegistry.merge` folds them into one
+   survey-wide view (counters and histograms sum; gauges sum too, so
+   per-shard totals add up; timings sum, modelling total worker-seconds).
+3. **No dependencies.**  Plain dicts in, plain dicts out —
+   :meth:`to_dict`/:meth:`from_dict` cross process boundaries without
+   custom pickling, exactly like :class:`~repro.parallel.ShardSpec`.
+
+Metric identity is ``(name, labels)``; a name maps to exactly one metric
+kind (creating ``x`` as a counter and again as a gauge raises).  Histograms
+use fixed upper-bound buckets with Prometheus ``le`` semantics: a value
+lands in the first bucket whose bound is >= the value, values above the
+last bound land in the implicit overflow (``+Inf``) bucket.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _series_key(name: str, labels: LabelItems) -> str:
+    """The flat snapshot key: ``name`` or ``name{a="x",b="y"}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to anything (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    ``bounds`` are inclusive upper bounds in strictly increasing order; an
+    implicit overflow bucket catches everything above the last bound.
+    Counts are stored per bucket (non-cumulative); the Prometheus formatter
+    accumulates them into ``le`` series at exposition time.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelItems,
+                 bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name} bounds must strictly increase: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # + overflow
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[self.bucket_index(value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def bucket_index(self, value) -> int:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                return index
+        return len(self.bounds)
+
+    @property
+    def overflow(self) -> int:
+        """Observations above the last bound (the ``+Inf`` bucket)."""
+        return self.counts[-1]
+
+
+class MetricsRegistry:
+    """Holds every metric of one collection run.
+
+    ``registry.backend`` is a nested registry for implementation-detail
+    counters (engine path cache, transport internals) that legitimately
+    differ between a live run and a journal replay; it is excluded from the
+    deterministic :meth:`snapshot`.  ``registry.timings`` holds monotonic
+    timing spans recorded by :meth:`time`, likewise excluded.
+    """
+
+    def __init__(self, _nested: bool = False):
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+        self.timings: Dict[str, Dict[str, float]] = {}
+        self.backend: Optional[MetricsRegistry] = (
+            None if _nested else MetricsRegistry(_nested=True))
+
+    # -- creation / lookup ---------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        metric = self._metrics.get((name, _label_items(labels)))
+        if metric is not None:
+            if not isinstance(metric, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+        if self._kinds.get(name, "histogram") != "histogram":
+            raise ValueError(
+                f"metric {name!r} already registered as {self._kinds[name]}")
+        if buckets is None:
+            raise ValueError(f"first use of histogram {name!r} must name "
+                             f"its buckets")
+        metric = Histogram(name, _label_items(labels), buckets)
+        self._metrics[(name, metric.labels)] = metric
+        self._kinds[name] = "histogram"
+        return metric
+
+    def _get_or_create(self, cls, name: str, labels: Dict) -> object:
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            if self._kinds.get(name, cls.kind) != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{self._kinds[name]}")
+            metric = cls(name, key[1])
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    # -- convenience mutators ------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value, **labels) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value,
+                buckets: Optional[Sequence[float]] = None, **labels) -> None:
+        self.histogram(name, buckets=buckets, **labels).observe(value)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Record a monotonic-clock span under ``timings`` (never in the
+        deterministic snapshot — wall clocks break record→replay parity)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            span = self.timings.setdefault(name, {"seconds": 0.0, "count": 0})
+            span["seconds"] += time.perf_counter() - started
+            span["count"] += 1
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a help string (used by the Prometheus exposition)."""
+        self._help[name] = help_text
+
+    def help_text(self, name: str) -> Optional[str]:
+        return self._help.get(name)
+
+    # -- reading -------------------------------------------------------------
+
+    def value(self, name: str, default=0, **labels):
+        """Current value of a counter/gauge series (``default`` if absent)."""
+        metric = self._metrics.get((name, _label_items(labels)))
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise ValueError(f"{name!r} is a histogram; read series()")
+        return metric.value
+
+    def series(self) -> List[object]:
+        """Every metric object, in deterministic (name, labels) order."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict:
+        """The deterministic payload: session-scope metrics only.
+
+        Identical for a live run, a journal replay, and ``tracenet stats``
+        over the same recorded session — the parity contract of
+        ``tests/test_metrics_determinism.py``.
+        """
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict] = {}
+        for metric in self.series():
+            key = _series_key(metric.name, metric.labels)
+            if isinstance(metric, Counter):
+                counters[key] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[key] = metric.value
+            else:
+                histograms[key] = {
+                    "buckets": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def full_snapshot(self) -> Dict:
+        """Everything: deterministic metrics + backend scope + timings."""
+        payload = {"metrics": self.snapshot()}
+        if self.backend is not None:
+            payload["backend"] = self.backend.snapshot()
+        payload["timings"] = {
+            name: {"seconds": round(span["seconds"], 6),
+                   "count": span["count"]}
+            for name, span in sorted(self.timings.items())
+        }
+        return payload
+
+    # -- IPC / merging -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-able representation, invertible by :meth:`from_dict`."""
+        return self.full_snapshot()
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MetricsRegistry":
+        registry = cls()
+        registry._load_scope(payload.get("metrics", {}))
+        if registry.backend is not None:
+            registry.backend._load_scope(payload.get("backend", {}))
+        for name, span in payload.get("timings", {}).items():
+            registry.timings[name] = {"seconds": float(span["seconds"]),
+                                      "count": int(span["count"])}
+        return registry
+
+    def _load_scope(self, scope: Dict) -> None:
+        for key, value in scope.get("counters", {}).items():
+            name, labels = _parse_series_key(key)
+            self.counter(name, **labels).value = value
+        for key, value in scope.get("gauges", {}).items():
+            name, labels = _parse_series_key(key)
+            self.gauge(name, **labels).set(value)
+        for key, data in scope.get("histograms", {}).items():
+            name, labels = _parse_series_key(key)
+            histogram = self.histogram(name, buckets=data["buckets"], **labels)
+            histogram.counts = list(data["counts"])
+            histogram.sum = data["sum"]
+            histogram.count = data["count"]
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (shard → survey aggregation)."""
+        for metric in other.series():
+            labels = dict(metric.labels)
+            if isinstance(metric, Counter):
+                self.counter(metric.name, **labels).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, **labels).inc(metric.value)
+            else:
+                mine = self.histogram(metric.name, buckets=metric.bounds,
+                                      **labels)
+                if mine.bounds != metric.bounds:
+                    raise ValueError(
+                        f"histogram {metric.name!r} bucket mismatch: "
+                        f"{mine.bounds} vs {metric.bounds}")
+                for index, count in enumerate(metric.counts):
+                    mine.counts[index] += count
+                mine.sum += metric.sum
+                mine.count += metric.count
+        if self.backend is not None and other.backend is not None:
+            self.backend.merge(other.backend)
+        for name, span in other.timings.items():
+            mine = self.timings.setdefault(name, {"seconds": 0.0, "count": 0})
+            mine["seconds"] += span["seconds"]
+            mine["count"] += span["count"]
+        return self
+
+
+def _parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`_series_key` for :meth:`MetricsRegistry.from_dict`."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        labels[label] = value.strip('"')
+    return name, labels

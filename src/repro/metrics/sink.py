@@ -1,0 +1,142 @@
+"""The event → metrics bridge: one bus sink feeding one registry.
+
+Every metric written here is a pure function of the session-event stream,
+which is the whole point: attach a :class:`MetricsSink` to a live run, to a
+journal replay, or to ``tracenet stats`` and the resulting
+:meth:`~repro.metrics.registry.MetricsRegistry.snapshot` payloads are
+identical.  The metric-name inventory lives in ``docs/OBSERVABILITY.md``;
+keep the two in sync.
+"""
+
+from __future__ import annotations
+
+from ..events import (
+    CacheHit,
+    CheckpointWritten,
+    HeuristicFired,
+    HopObserved,
+    OverheadViolation,
+    ProbeSent,
+    SessionEvent,
+    SubnetGrown,
+    SubnetPositioned,
+    SubnetShrunk,
+    SurveyProgressed,
+    TraceFinished,
+    TraceStarted,
+)
+from .registry import MetricsRegistry
+
+#: Fixed histogram buckets (inclusive upper bounds; +Inf overflow implied).
+TTL_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+SUBNET_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+SUBNET_PROBE_BUCKETS = (4, 8, 16, 32, 64, 128, 256, 512)
+TRACE_HOP_BUCKETS = (1, 2, 4, 8, 12, 16, 24, 32)
+TRACE_PROBE_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+_HELP = {
+    "probes_sent_total": "Wire probes sent (reconciles with Engine.stats.probes_sent)",
+    "probe_cache_hits_total": "Probes answered from the prober response cache",
+    "probe_responses_total": "Wire probes that got an answer",
+    "probe_silent_total": "Wire probes that got silence",
+    "probe_phase_total": "Wire probes by algorithm phase",
+    "probe_protocol_total": "Wire probes by transport protocol",
+    "probe_response_kind_total": "Responses by ICMP kind",
+    "probe_ttl": "TTL distribution of wire probes",
+    "hops_observed_total": "Trace-collection hop classifications by kind",
+    "subnet_positionings_total": "Algorithm 2 outcomes (positioned / unpositioned)",
+    "heuristic_fired_total": "H2-H8 judgements by rule",
+    "heuristic_verdict_total": "H2-H8 judgements by verdict",
+    "subnet_shrunk_total": "Stop-and-shrink / half-utilization cuts by rule",
+    "subnets_grown_total": "Subnets that finished Algorithm 1",
+    "subnet_stop_total": "Subnet growth stop reasons",
+    "subnet_phase_probes_total": "Per-subnet probe cost attributed by phase",
+    "subnet_size": "Observed subnet sizes",
+    "subnet_probes_used": "Wire probes spent growing each subnet",
+    "overhead_checks_total": "Subnets checked against the 7|S|+7 bound",
+    "overhead_violations_total": "Subnets that exceeded the Section 3.6 bound",
+    "overhead_violation_probes_total": "Wire probes spent inside violating subnets",
+    "traces_started_total": "tracenet sessions started",
+    "traces_finished_total": "tracenet sessions finished",
+    "traces_reached_total": "tracenet sessions that reached the destination",
+    "trace_cache_hits_total": "Cache hits attributed to finished traces",
+    "trace_hops": "Hops per finished trace",
+    "trace_probes": "Wire probes per finished trace",
+    "checkpoints_written_total": "Survey checkpoints persisted",
+    "survey_progress_events_total": "Per-target survey progress updates",
+    "survey_targets": "Targets in the current survey run",
+    "survey_completed": "Targets completed in the current survey run",
+    "survey_skipped": "Targets skipped (resumed from checkpoint)",
+    "survey_reached": "Targets whose trace reached the destination",
+    "survey_probes_sent": "Wire probes sent by the current survey run",
+}
+
+
+class MetricsSink:
+    """Feeds a :class:`MetricsRegistry` from the session-event stream."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        for name, text in _HELP.items():
+            registry.describe(name, text)
+
+    def __call__(self, event: SessionEvent) -> None:
+        registry = self.registry
+        if isinstance(event, ProbeSent):
+            registry.inc("probes_sent_total")
+            registry.inc("probe_protocol_total", protocol=event.protocol)
+            if event.phase is not None:
+                registry.inc("probe_phase_total", phase=event.phase)
+            if event.answered:
+                registry.inc("probe_responses_total")
+                if event.response_kind is not None:
+                    registry.inc("probe_response_kind_total",
+                                 kind=event.response_kind)
+            else:
+                registry.inc("probe_silent_total")
+            registry.observe("probe_ttl", event.ttl, buckets=TTL_BUCKETS)
+        elif isinstance(event, CacheHit):
+            registry.inc("probe_cache_hits_total")
+        elif isinstance(event, HopObserved):
+            registry.inc("hops_observed_total", kind=event.kind)
+        elif isinstance(event, SubnetPositioned):
+            outcome = "positioned" if event.positioned else "unpositioned"
+            registry.inc("subnet_positionings_total", outcome=outcome)
+        elif isinstance(event, HeuristicFired):
+            registry.inc("heuristic_fired_total", rule=event.rule)
+            registry.inc("heuristic_verdict_total", verdict=event.verdict)
+        elif isinstance(event, SubnetShrunk):
+            registry.inc("subnet_shrunk_total", rule=event.rule)
+        elif isinstance(event, SubnetGrown):
+            registry.inc("subnets_grown_total")
+            registry.inc("subnet_stop_total", reason=event.stop_reason)
+            registry.inc("overhead_checks_total")
+            registry.observe("subnet_size", event.size,
+                             buckets=SUBNET_SIZE_BUCKETS)
+            registry.observe("subnet_probes_used", event.probes_used,
+                             buckets=SUBNET_PROBE_BUCKETS)
+            for phase, count in (event.phase_probes or {}).items():
+                registry.inc("subnet_phase_probes_total", count, phase=phase)
+        elif isinstance(event, OverheadViolation):
+            registry.inc("overhead_violations_total")
+            registry.inc("overhead_violation_probes_total", event.probes_used)
+        elif isinstance(event, TraceStarted):
+            registry.inc("traces_started_total")
+        elif isinstance(event, TraceFinished):
+            registry.inc("traces_finished_total")
+            if event.reached:
+                registry.inc("traces_reached_total")
+            registry.inc("trace_cache_hits_total", event.cache_hits)
+            registry.observe("trace_hops", event.hops,
+                             buckets=TRACE_HOP_BUCKETS)
+            registry.observe("trace_probes", event.probes_sent,
+                             buckets=TRACE_PROBE_BUCKETS)
+        elif isinstance(event, CheckpointWritten):
+            registry.inc("checkpoints_written_total")
+        elif isinstance(event, SurveyProgressed):
+            registry.inc("survey_progress_events_total")
+            registry.set_gauge("survey_targets", event.total_targets)
+            registry.set_gauge("survey_completed", event.completed)
+            registry.set_gauge("survey_skipped", event.skipped)
+            registry.set_gauge("survey_reached", event.reached)
+            registry.set_gauge("survey_probes_sent", event.probes_sent)

@@ -68,6 +68,21 @@ class EngineStats:
         self.probes_sent += 1
         self.per_protocol[protocol] = self.per_protocol.get(protocol, 0) + 1
 
+    def snapshot(self) -> dict:
+        """Flat JSON-able counters (benches, transport backend metrics)."""
+        flat = {
+            "engine_probes_sent": self.probes_sent,
+            "engine_responses_returned": self.responses_returned,
+            "engine_silent_drops": self.silent_drops,
+            "engine_path_cache_hits": self.path_cache_hits,
+            "engine_path_cache_misses": self.path_cache_misses,
+            "engine_path_cache_uncacheable": self.path_cache_uncacheable,
+        }
+        for protocol, count in sorted(self.per_protocol.items(),
+                                      key=lambda item: item[0].value):
+            flat[f"engine_probes_{protocol.value}"] = count
+        return flat
+
 
 class PathTerminal(enum.Enum):
     """How a fully resolved path ends when the TTL never expires."""

@@ -47,9 +47,10 @@ from .netsim.serialize import (
     topology_to_dict,
 )
 from .netsim.topology import Topology
+from .metrics import MetricsRegistry, instrument
 from .probing.budget import ProbeStats
 from .runner import SurveyRunner
-from .transport import SimulatorTransport
+from .transport import SimulatorTransport, collect_backend_metrics
 
 
 @dataclass(frozen=True)
@@ -128,16 +129,20 @@ def _run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
     tool = spec.build_tool()
     events = CounterSink()
     tool.events.subscribe(events)
+    registry = MetricsRegistry()
+    instrument(tool.events, registry=registry)
     built = time.perf_counter()
     runner = SurveyRunner(tool, checkpoint_path=checkpoint_path,
                           checkpoint_every=checkpoint_every)
     runner.run(targets)
+    collect_backend_metrics(registry.backend, tool.transport)
     finished = time.perf_counter()
     return {
         "shard": shard_index,
         "archive": archive_to_dict(runner.archive),
         "stats": tool.prober.stats.snapshot(),
         "events": dict(events.counts),
+        "metrics": registry.to_dict(),
         "build_seconds": built - started,
         "survey_seconds": finished - built,
     }
@@ -256,6 +261,7 @@ class ShardOutcome:
     archive: CollectionArchive
     stats: ProbeStats
     event_counts: Dict[str, int] = field(default_factory=dict)
+    metrics: Optional[MetricsRegistry] = None
     build_seconds: float = 0.0
     survey_seconds: float = 0.0
 
@@ -269,6 +275,11 @@ class ShardedSurveyResult:
     shards: List[ShardOutcome] = field(default_factory=list)
     workers: int = 1
     executed_inline: bool = False
+    #: Per-shard registries merged into one survey-wide view.  Counters and
+    #: histograms sum exactly (each event happened in exactly one shard);
+    #: gauges sum too, which turns per-shard totals (``survey_targets``,
+    #: engine backend counters) into fleet totals.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def probes_sent(self) -> int:
@@ -365,24 +376,32 @@ class ShardedSurveyRunner:
                executed_inline: bool) -> ShardedSurveyResult:
         outcomes = []
         for (index, shard, _), payload in zip(jobs, payloads):
+            shard_metrics = payload.get("metrics")
             outcomes.append(ShardOutcome(
                 shard_index=index,
                 targets=shard,
                 archive=archive_from_dict(payload["archive"]),
                 stats=_stats_from_snapshot(payload["stats"]),
                 event_counts=payload.get("events", {}),
+                metrics=(MetricsRegistry.from_dict(shard_metrics)
+                         if shard_metrics is not None else None),
                 build_seconds=payload.get("build_seconds", 0.0),
                 survey_seconds=payload.get("survey_seconds", 0.0),
             ))
         merged = merge_shard_archives(
             self.spec.vantage, [o.archive for o in outcomes], targets)
         stats = merge_probe_stats([o.stats for o in outcomes])
+        metrics = MetricsRegistry()
+        for outcome in outcomes:
+            if outcome.metrics is not None:
+                metrics.merge(outcome.metrics)
         return ShardedSurveyResult(
             archive=merged,
             stats=stats,
             shards=outcomes,
             workers=len(jobs),
             executed_inline=executed_inline,
+            metrics=metrics,
         )
 
 

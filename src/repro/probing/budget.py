@@ -33,6 +33,24 @@ class ProbeStats:
         if phase is not None:
             self.by_phase[phase] = self.by_phase.get(phase, 0) + 1
 
+    def record_cache_hit(self) -> None:
+        """One probe answered from the response cache, not the wire."""
+        self.cache_hits += 1
+
+    def phase_delta(self, earlier: "ProbeStats") -> Dict[str, int]:
+        """Per-phase wire probes spent since ``earlier`` (sorted keys).
+
+        This is the per-subnet attribution carried by
+        :class:`~repro.events.SubnetGrown` and audited against the
+        Section 3.6 bounds.
+        """
+        delta = {}
+        for phase, count in self.by_phase.items():
+            spent = count - earlier.by_phase.get(phase, 0)
+            if spent:
+                delta[phase] = spent
+        return dict(sorted(delta.items()))
+
     def record_outcome(self, answered: bool) -> None:
         if answered:
             self.responses += 1

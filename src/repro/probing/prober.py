@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..events import EventBus, ProbeSent
+from ..events import CacheHit, EventBus, ProbeSent
 from ..netsim.packet import DEFAULT_TTL, Probe, Protocol, Response
 from ..transport import as_transport
 from .budget import ProbeBudget, ProbeStats
@@ -83,7 +83,9 @@ class Prober:
                 f"use direct_probe() for direct probing")
         key = (dst, ttl, self.protocol)
         if self.use_cache and flow_id is None and key in self._cache:
-            self.stats.cache_hits += 1
+            self.stats.record_cache_hit()
+            if self.events:
+                self.events.emit(CacheHit(dst=dst, ttl=ttl, phase=phase))
             return self._cache[key]
         response = self._send_once(dst, ttl, phase, flow_id)
         attempt = 0

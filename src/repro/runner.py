@@ -59,18 +59,33 @@ class SurveyRunner:
             emits :class:`~repro.events.SurveyProgressed` events and the
             adapter translates them back into callback invocations, so bus
             sinks and legacy hooks observe the identical stream.
+        metrics: optional :class:`repro.metrics.MetricsRegistry`.  When
+            given, a metrics sink and probe-economy auditor are attached to
+            the tool's event bus for the lifetime of this runner, and
+            ``run()`` records a ``survey_run_seconds`` timing span.
     """
 
     def __init__(self, tool: TraceNET,
                  checkpoint_path: Optional[str] = None,
                  checkpoint_every: int = 25,
-                 progress: Optional[Callable[[SurveyProgress], None]] = None):
+                 progress: Optional[Callable[[SurveyProgress], None]] = None,
+                 metrics=None):
         self.tool = tool
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = max(1, checkpoint_every)
         self.progress_hook = progress
         if progress is not None:
             self.tool.events.subscribe(self._hook_adapter)
+        self.metrics = metrics
+        self._instrumentation = None
+        if metrics is not None:
+            # Lazy import: runner sits below the metrics facade in the
+            # import graph (metrics.analytics drives collectors), so the
+            # dependency must stay one-way at module-import time.
+            from .metrics import instrument
+
+            self._instrumentation = instrument(self.tool.events,
+                                               registry=metrics)
         self.progress = SurveyProgress()
         self.traces: List[TraceResult] = []
         self._done_targets: Set[int] = set()
@@ -85,6 +100,12 @@ class SurveyRunner:
         with a second target list) must not inherit ``completed``/``skipped``
         from the previous call, or ``remaining`` goes negative.
         """
+        if self.metrics is not None:
+            with self.metrics.time("survey_run_seconds"):
+                return self._run(targets)
+        return self._run(targets)
+
+    def _run(self, targets: Sequence[int]) -> SurveyProgress:
         self.progress = SurveyProgress(total_targets=len(targets))
         # Per-run delta, not the instance's lifetime total: a prober that
         # already sent probes (an earlier run() call, a warm-up trace) must

@@ -10,7 +10,13 @@ never name a backend.  Shipped backends:
 * :class:`FaultInjectingTransport` — seeded drops/blackholes for robustness.
 """
 
-from .base import ProbeTransport, TransportCapabilities, as_transport
+from .base import (
+    ProbeTransport,
+    TransportCapabilities,
+    as_transport,
+    backend_metrics,
+    collect_backend_metrics,
+)
 from .fault import FaultInjectingTransport
 from .journal import (
     JournalError,
@@ -32,4 +38,6 @@ __all__ = [
     "SimulatorTransport",
     "TransportCapabilities",
     "as_transport",
+    "backend_metrics",
+    "collect_backend_metrics",
 ]

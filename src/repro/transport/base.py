@@ -56,6 +56,35 @@ class ProbeTransport(TypingProtocol):
         ...
 
 
+def backend_metrics(transport) -> dict:
+    """Flat implementation-detail counters of a transport stack.
+
+    Transports may implement ``backend_metrics() -> Dict[str, int]``
+    (wrappers fold their inner transport's dict in); backends without the
+    hook report nothing.  These counters are *not* part of the
+    deterministic session metrics — a simulator run reports engine
+    path-cache figures, a replay run reports journal cursors — which is
+    exactly why they live behind this seam-level hook instead of inside
+    ``repro.metrics`` (which never imports the engine).
+    """
+    collect = getattr(transport, "backend_metrics", None)
+    return dict(collect()) if callable(collect) else {}
+
+
+def collect_backend_metrics(registry, transport) -> None:
+    """Capture a transport stack's backend counters into a registry scope.
+
+    ``registry`` is duck-typed (anything with ``set_gauge``), normally the
+    ``backend`` scope of a :class:`repro.metrics.MetricsRegistry`.  Gauges,
+    not counters: the hook reports absolute totals, and re-capturing after
+    a longer run must overwrite, not double.
+    """
+    if registry is None:
+        return
+    for name, value in sorted(backend_metrics(transport).items()):
+        registry.set_gauge(name, value)
+
+
 def as_transport(network) -> ProbeTransport:
     """Coerce an Engine-or-transport argument onto the seam.
 

@@ -38,8 +38,10 @@ class FaultInjectingTransport:
         self.drop_rate = drop_rate
         self.blackholes = frozenset(blackholes)
         self._rng = random.Random(seed)
+        self.sends = 0
         self.injected_drops = 0
         self.blackholed = 0
+        self.responses_suppressed = 0
 
     @property
     def engine(self):
@@ -48,14 +50,36 @@ class FaultInjectingTransport:
 
     def send(self, probe: Probe) -> Optional[Response]:
         response = self.inner.send(probe)
+        self.sends += 1
         if probe.dst in self.blackholes:
             self.blackholed += 1
+            if response is not None:
+                self.responses_suppressed += 1
             return None
         if response is not None and self.drop_rate > 0.0 \
                 and self._rng.random() < self.drop_rate:
             self.injected_drops += 1
+            self.responses_suppressed += 1
             return None
         return response
+
+    def backend_metrics(self) -> dict:
+        """Fault-injection accounting, folded over the inner backend's.
+
+        ``fault_responses_suppressed`` counts answers that existed and were
+        swallowed; ``fault_blackholed`` counts probes to blackholed
+        destinations whether or not the inner backend would have answered.
+        """
+        from .base import backend_metrics
+
+        metrics = backend_metrics(self.inner)
+        metrics.update({
+            "fault_sends": self.sends,
+            "fault_injected_drops": self.injected_drops,
+            "fault_blackholed": self.blackholed,
+            "fault_responses_suppressed": self.responses_suppressed,
+        })
+        return metrics
 
     def capabilities(self) -> TransportCapabilities:
         inner = self.inner.capabilities()

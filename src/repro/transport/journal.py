@@ -144,6 +144,14 @@ class RecordingTransport:
             })
         return address
 
+    def backend_metrics(self) -> Dict:
+        """Journal accounting, folded over the inner backend's."""
+        from .base import backend_metrics
+
+        metrics = backend_metrics(self.inner)
+        metrics["journal_exchanges_recorded"] = self.exchanges
+        return metrics
+
     def close(self) -> None:
         self._fp.flush()
         if self._owns_fp:
@@ -221,6 +229,13 @@ class ReplayTransport:
                 f"unknown vantage host {host_id!r} (journal knows "
                 f"{sorted(self._vantages) or 'none'})")
         return self._vantages[host_id]
+
+    def backend_metrics(self) -> Dict:
+        """Replay cursor accounting (no engine behind this backend)."""
+        return {
+            "replay_exchanges_served": self.cursor,
+            "replay_exchanges_remaining": self.remaining,
+        }
 
     def close(self) -> None:
         """Journals are fully loaded up front; nothing to release."""

@@ -41,5 +41,11 @@ class SimulatorTransport:
             raise ValueError(f"unknown vantage host {host_id!r}")
         return hosts[host_id].address
 
+    def backend_metrics(self) -> dict:
+        """Engine counters, fast-path accounting included — the only route
+        by which ``engine.stats`` reaches the metrics layer (which is
+        sealed off from ``netsim.engine``)."""
+        return self.engine.stats.snapshot()
+
     def close(self) -> None:
         """The engine holds no external resources."""

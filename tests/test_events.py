@@ -8,6 +8,7 @@ import pytest
 from repro.core import TraceNET
 from repro.core.heuristics import ExplorationState, Judgement, Verdict
 from repro.events import (
+    CacheHit,
     CheckpointWritten,
     CollectingSink,
     CounterSink,
@@ -15,6 +16,7 @@ from repro.events import (
     HeuristicFired,
     HopObserved,
     JsonlEventSink,
+    OverheadViolation,
     ProbeSent,
     ProgressSink,
     SubnetGrown,
@@ -70,10 +72,16 @@ class TestSerialization:
                              pivot_distance=3, on_trace_path=None),
             HeuristicFired(candidate=8, rule="H2", verdict="stop-and-shrink",
                            detail="d"),
+            CacheHit(dst=9, ttl=4, phase="subnet-exploration"),
             SubnetGrown(pivot=6, prefix="10.0.0.4/31", size=2,
-                        stop_reason="prefix-floor", probes_used=11),
+                        stop_reason="prefix-floor", probes_used=11,
+                        phase_probes={"subnet-exploration": 11},
+                        candidates_tested=3),
+            OverheadViolation(pivot=6, prefix="10.0.0.4/29", size=5,
+                              probes_used=99, upper_bound=42, slack=1.25,
+                              phase_probes={"subnet-exploration": 99}),
             TraceFinished(destination=1, reached=True, hops=4,
-                          probes_sent=40),
+                          probes_sent=40, cache_hits=3),
             CheckpointWritten(path="/tmp/x.json", completed_targets=3,
                               traces=3),
             SurveyProgressed(total_targets=10, completed=4, skipped=1,

@@ -2,10 +2,12 @@
 the ProbeTransport seam.
 
 An import-linter-equivalent check: modules in ``repro.core``,
-``repro.baselines`` and ``repro.probing`` must not import
-``repro.netsim.engine`` — the simulator is an implementation detail behind
-:class:`repro.transport.SimulatorTransport`, and any direct import would
-quietly re-couple the collector layers to it.
+``repro.baselines``, ``repro.probing`` and ``repro.metrics`` must not
+import ``repro.netsim.engine`` — the simulator is an implementation detail
+behind :class:`repro.transport.SimulatorTransport`, and any direct import
+would quietly re-couple the collector layers to it.  For metrics the seal
+is what keeps registries backend-agnostic: engine counters may only arrive
+via the duck-typed ``backend_metrics()`` transport hook.
 """
 
 import ast
@@ -15,7 +17,7 @@ import repro
 
 SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
 
-SEALED_PACKAGES = ("core", "baselines", "probing")
+SEALED_PACKAGES = ("core", "baselines", "probing", "metrics")
 
 FORBIDDEN_MODULE = "repro.netsim.engine"
 
@@ -67,4 +69,4 @@ def test_the_check_sees_the_sealed_files():
     assert len(paths) >= 10
     names = {p.name for p in paths}
     assert {"tracenet.py", "heuristics.py", "prober.py",
-            "traceroute.py"} <= names
+            "traceroute.py", "registry.py", "auditor.py"} <= names
