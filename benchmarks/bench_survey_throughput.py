@@ -1,16 +1,26 @@
-"""Survey throughput: serial walk vs engine fast path vs sharded workers.
+"""Survey throughput: serial walk vs fast path vs batched pipeline vs shards.
 
 Tracks the perf trajectory of the collection pipeline on the Internet2
-topology in three lanes:
+topology in three groups of lanes:
 
 * **engine probe rate** — the same TTL-sweep probe workload pushed through
-  one engine with the resolved-path cache off (every probe re-walks the
-  routed path) and on (every repeat probe answers from the memoized path).
-  This is where the fast path lives; the acceptance gate is >= 2x.
+  one engine three ways: per-probe ``send`` with the resolved-path cache
+  off (every probe re-walks the routed path), per-probe ``send`` with the
+  cache on, and ``send_many`` batches over the cached engine.  The probe
+  objects are built once outside the timed region for every lane, so the
+  lanes compare dispatch cost, not packet allocation.  Gates: fastpath
+  >= 2x serial, batched >= 5x serial (full runs).
 * **survey rate** — full tracenet surveys (trace + positioning +
-  exploration) serial with cache off, serial with cache on, and sharded
-  over worker processes.  The parallel archive must be content-equal to
-  the serial one.
+  exploration) serial with cache off/on, instrumented, batched
+  (``batch_window=1``: every ladder probe rides the transport batch API
+  with a probe stream byte-identical to the serial path), stop-set
+  (Doubletree suppression: fewer probes, equivalent archive), and sharded
+  over worker processes.
+* **parallel accounting** — the sharded lane reports both a *cold* rate
+  (probes / total wall clock, including per-shard engine builds and the
+  merge) and a *warm* rate (probes / slowest shard's survey loop alone),
+  so per-shard startup cost is visible instead of silently dragging the
+  headline number.
 
 Results land in ``BENCH_survey_throughput.json`` at the repo root so every
 subsequent PR can diff probes/sec.  ``--smoke`` (or the pytest run) uses a
@@ -28,10 +38,12 @@ import sys
 import time
 
 from repro.core import TraceNET
+from repro.mapping.store import archive_to_dict
 from repro.metrics import MetricsRegistry
 from repro.netsim import Engine
 from repro.netsim.packet import Probe
 from repro.parallel import ShardedSurveyRunner, archives_equivalent
+from repro.probing import StopSet
 from repro.runner import SurveyRunner
 from repro.topogen import internet2
 from repro.transport import collect_backend_metrics
@@ -41,49 +53,64 @@ RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_survey_throughput.json")
 
 SEED = 7
 TTL_SWEEP = 12  # TTLs probed per destination in the engine lane
+BATCH_CHUNK = 256  # probes per send_many dispatch in the batched lane
 
 
 def engine_probe_rates(network, targets, reps: int = 5) -> dict:
-    """Push a survey-shaped (dst, ttl) workload through two engines, one
-    with the resolved-path cache off and one with it on.
+    """Push a survey-shaped (dst, ttl) workload through three engines:
+    per-probe sends with the resolved-path cache off and on, and
+    ``send_many`` batches over a cached engine.
 
-    One un-timed warmup pass per engine populates the lazily-built routing
-    table (a fixed cost amortized over any survey) and, on the cached
-    engine, the path memo.  The sweep is then timed ``reps`` times per
-    engine with the lanes *interleaved* — serial rep, fastpath rep, serial
-    rep, ... — so a systematic slowdown mid-bench (CPU throttling, a
-    noisy neighbour) hits both lanes equally instead of whichever ran
-    second.  Each lane reports its fastest rep, the noise-robust
-    steady-state figure, exactly as ``timeit`` does; GC is paused inside
-    the timed regions for the same reason.  The cache-off lane still
-    re-walks every probe in every rep.
+    The probe list is built once, outside every timed region — all three
+    lanes dispatch the *same* prebuilt objects, so the comparison isolates
+    engine dispatch cost.  One un-timed warmup pass per engine populates
+    the lazily-built routing table and, on the cached engines, the path
+    memo.  The sweep is then timed ``reps`` times per engine with the
+    lanes *interleaved* — serial rep, fastpath rep, batched rep, serial
+    rep, ... — so a systematic slowdown mid-bench (CPU throttling, a noisy
+    neighbour) hits every lane equally instead of whichever ran last.
+    Each lane reports its fastest rep, the noise-robust steady-state
+    figure, exactly as ``timeit`` does; GC is paused inside the timed
+    regions for the same reason.
     """
     from repro.netsim import EngineStats
 
     src = network.topology.hosts["utdallas"].address
+    probes = [Probe(src=src, dst=dst, ttl=ttl)
+              for dst in targets for ttl in range(1, TTL_SWEEP + 1)]
     engines = {
         "serial": Engine(network.topology, policy=network.policy,
                          path_cache=False),
         "fastpath": Engine(network.topology, policy=network.policy,
                            path_cache=True),
+        "batched": Engine(network.topology, policy=network.policy,
+                          path_cache=True),
     }
 
-    def sweep(engine):
-        for dst in targets:
-            for ttl in range(1, TTL_SWEEP + 1):
-                engine.send(Probe(src=src, dst=dst, ttl=ttl))
+    def sweep_serial(engine):
+        send = engine.send
+        for probe in probes:
+            send(probe)
+
+    def sweep_batched(engine):
+        send_many = engine.send_many
+        for start in range(0, len(probes), BATCH_CHUNK):
+            send_many(probes[start:start + BATCH_CHUNK])
+
+    sweeps = {"serial": sweep_serial, "fastpath": sweep_serial,
+              "batched": sweep_batched}
 
     rep_seconds = {lane: [] for lane in engines}
     gc_was_enabled = gc.isenabled()
-    for engine in engines.values():
-        sweep(engine)  # warmup: routing BFS + (when enabled) path memo
+    for lane, engine in engines.items():
+        sweeps[lane](engine)  # warmup: routing BFS + (when enabled) memo
     for _ in range(reps):
         for lane, engine in engines.items():
             engine.stats = EngineStats()
             gc.collect()
             gc.disable()
             started = time.perf_counter()
-            sweep(engine)
+            sweeps[lane](engine)
             rep_seconds[lane].append(time.perf_counter() - started)
             if gc_was_enabled:
                 gc.enable()
@@ -100,13 +127,19 @@ def engine_probe_rates(network, targets, reps: int = 5) -> dict:
             "path_cache_misses": engine.stats.path_cache_misses,
             "hit_rate": round(engine.stats.path_cache_hits / max(1, sent), 4),
         }
+        if lane == "batched":
+            lanes[lane]["batches"] = engine.stats.batches
+            lanes[lane]["batched_probes"] = engine.stats.batched_probes
+            lanes[lane]["batch_chunk"] = BATCH_CHUNK
     return lanes
 
 
-def serial_survey(network, targets, path_cache: bool, metrics=None):
+def serial_survey(network, targets, path_cache: bool, metrics=None,
+                  batch_window: int = 0, stop_set=None):
     engine = Engine(network.topology, policy=network.policy,
                     path_cache=path_cache)
-    tool = TraceNET(engine, "utdallas")
+    tool = TraceNET(engine, "utdallas", batch_window=batch_window,
+                    stop_set=stop_set)
     runner = SurveyRunner(tool, metrics=metrics)
     started = time.perf_counter()
     runner.run(targets)
@@ -122,6 +155,13 @@ def serial_survey(network, targets, path_cache: bool, metrics=None):
         "path_cache": path_cache,
         "engine_path_cache_hits": engine.stats.path_cache_hits,
     }
+    if batch_window:
+        lane["batch_window"] = batch_window
+        lane["engine_batches"] = engine.stats.batches
+        lane["engine_batched_probes"] = engine.stats.batched_probes
+    if stop_set is not None:
+        lane["suppressed"] = tool.prober.stats.suppressed
+        lane["stop_set"] = stop_set.counters()
     return lane, runner.archive
 
 
@@ -134,13 +174,22 @@ def parallel_survey(network, targets, workers: int):
     sent = outcome.stats.sent
     slowest = max((s.build_seconds + s.survey_seconds
                    for s in outcome.shards), default=elapsed)
+    # Warm rate: the survey loops alone, per-shard engine builds excluded.
+    # That is the steady-state shard throughput a long survey converges to;
+    # the cold rate charges the full wall clock (spec + builds + merge).
+    slowest_survey = max((s.survey_seconds for s in outcome.shards),
+                         default=elapsed)
+    startup = sum(s.build_seconds for s in outcome.shards)
     lane = {
         "workers": outcome.workers,
         "executed_inline": outcome.executed_inline,
         "probes": sent,
         "seconds": round(elapsed, 4),
-        "probes_per_sec": round(sent / elapsed, 1),
+        "cold_probes_per_sec": round(sent / elapsed, 1),
+        "warm_probes_per_sec": round(sent / max(1e-9, slowest_survey), 1),
+        "shard_build_seconds_total": round(startup, 4),
         "slowest_shard_seconds": round(slowest, 4),
+        "slowest_shard_survey_seconds": round(slowest_survey, 4),
         "shards": [
             {
                 "shard": s.shard_index,
@@ -152,7 +201,14 @@ def parallel_survey(network, targets, workers: int):
             for s in outcome.shards
         ],
     }
+    # Back-compat alias: "probes_per_sec" stays the cold (wall-clock) rate.
+    lane["probes_per_sec"] = lane["cold_probes_per_sec"]
     return lane, outcome.archive
+
+
+def archive_bytes(archive) -> str:
+    """The canonical serialized archive, for byte-identity gates."""
+    return json.dumps(archive_to_dict(archive), sort_keys=True)
 
 
 def run(smoke: bool = False, workers: int = 2) -> dict:
@@ -166,6 +222,7 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
     engine_lanes = engine_probe_rates(network, targets)
     engine_serial = engine_lanes["serial"]
     engine_fast = engine_lanes["fastpath"]
+    engine_batched = engine_lanes["batched"]
     survey_slow, _ = serial_survey(network, targets, path_cache=False)
     survey_fast, serial_archive = serial_survey(network, targets,
                                                 path_cache=True)
@@ -176,16 +233,33 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
     survey_metered, metered_archive = serial_survey(network, targets,
                                                     path_cache=True,
                                                     metrics=registry)
+    # Batched pipeline, exact mode: batch_window=1 routes every ladder
+    # probe through send_many without changing the probe stream, so the
+    # archive must serialize byte-for-byte equal to the serial lane's.
+    survey_batched, batched_archive = serial_survey(network, targets,
+                                                    path_cache=True,
+                                                    batch_window=1)
+    # Stop-set mode: probe-economy-changing by design (probes only go
+    # down), map-equal on the reference networks.
+    stop_set = StopSet()
+    survey_stopset, stopset_archive = serial_survey(network, targets,
+                                                    path_cache=True,
+                                                    stop_set=stop_set)
     survey_parallel, parallel_archive = parallel_survey(network, targets,
                                                         workers=workers)
     parallel_equal = archives_equivalent(serial_archive, parallel_archive)
     metered_equal = archives_equivalent(serial_archive, metered_archive)
+    batched_bytes_equal = (archive_bytes(serial_archive)
+                           == archive_bytes(batched_archive))
+    stopset_equal = archives_equivalent(serial_archive, stopset_archive)
     instrumentation_overhead = round(
         1 - (survey_metered["probes_per_sec"]
              / max(1e-9, survey_fast["probes_per_sec"])), 4)
 
     speedup = (engine_fast["probes_per_sec"]
                / max(1e-9, engine_serial["probes_per_sec"]))
+    batched_speedup = (engine_batched["probes_per_sec"]
+                       / max(1e-9, engine_serial["probes_per_sec"]))
     result = {
         "bench": "survey_throughput",
         "topology": "internet2",
@@ -196,18 +270,31 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
         "probes_per_sec": {
             "serial": engine_serial["probes_per_sec"],
             "fastpath": engine_fast["probes_per_sec"],
-            "parallel": survey_parallel["probes_per_sec"],
+            "batched": engine_batched["probes_per_sec"],
+            "parallel": survey_parallel["cold_probes_per_sec"],
+            "parallel_warm": survey_parallel["warm_probes_per_sec"],
         },
         "fastpath_speedup": round(speedup, 2),
-        "engine": {"serial": engine_serial, "fastpath": engine_fast},
+        "batched_speedup": round(batched_speedup, 2),
+        "engine": {"serial": engine_serial, "fastpath": engine_fast,
+                   "batched": engine_batched},
         "survey": {
             "serial": survey_slow,
             "fastpath": survey_fast,
             "instrumented": survey_metered,
+            "batched": survey_batched,
+            "stopset": survey_stopset,
             "parallel": survey_parallel,
         },
         "parallel_equals_serial": parallel_equal,
         "instrumented_equals_serial": metered_equal,
+        # batch_window=1 must preserve the probe stream exactly: the
+        # serialized archives (probe counts included) are compared as bytes.
+        "batched_equals_serial_bytes": batched_bytes_equal,
+        # Stop sets change the probe economy, not the map.
+        "stopset_equals_serial": stopset_equal,
+        "stopset_probes_saved": (survey_fast["probes"]
+                                 - survey_stopset["probes"]),
         # Fractional survey-rate cost of attaching the registry + auditor.
         "instrumentation_overhead": instrumentation_overhead,
         # Full registry of the instrumented lane: session metrics
@@ -231,17 +318,32 @@ def check(result: dict, smoke: bool) -> None:
         "parallel archive diverged from the serial archive")
     assert result["instrumented_equals_serial"], (
         "attaching metrics changed the collected archive")
+    assert result["batched_equals_serial_bytes"], (
+        "batch_window=1 changed the probe stream: batched archive is not "
+        "byte-identical to the serial archive")
+    assert result["stopset_equals_serial"], (
+        "stop sets changed the collected map, not just the probe economy")
+    assert result["stopset_probes_saved"] > 0, (
+        "stop sets sent no fewer probes than the serial survey "
+        f"(saved {result['stopset_probes_saved']})")
     assert result["engine"]["fastpath"]["hit_rate"] > 0, (
         "fast path never hit — cache not engaged")
+    assert result["engine"]["batched"]["batches"] > 0, (
+        "batched lane never dispatched through send_many")
     assert result["overhead_violations"] == 0, (
         "the reference survey tripped the probe-economy auditor")
     session = result["metrics"]["metrics"]["counters"]
     backend = result["metrics"]["backend"]["gauges"]
     assert session["probes_sent_total"] == backend["engine_probes_sent"], (
         "event-stream probe count diverged from the engine's own counter")
+    assert result["batched_speedup"] > 1.0, (
+        f"send_many is not faster than per-probe send "
+        f"({result['batched_speedup']}x)")
     if not smoke:
         assert result["fastpath_speedup"] >= 2.0, (
             f"fast path is only {result['fastpath_speedup']}x serial")
+        assert result["batched_speedup"] >= 5.0, (
+            f"batched dispatch is only {result['batched_speedup']}x serial")
 
 
 def test_survey_throughput():
@@ -264,18 +366,26 @@ def main(argv=None) -> int:
     print(f"targets: {result['targets']}  (smoke={result['smoke']})")
     print(f"engine probes/sec: serial {rates['serial']:.0f} "
           f"-> fastpath {rates['fastpath']:.0f} "
-          f"({result['fastpath_speedup']}x)")
+          f"({result['fastpath_speedup']}x) "
+          f"-> batched {rates['batched']:.0f} "
+          f"({result['batched_speedup']}x)")
     print(f"survey probes/sec: serial "
           f"{result['survey']['serial']['probes_per_sec']:.0f} "
           f"-> fastpath {result['survey']['fastpath']['probes_per_sec']:.0f} "
-          f"-> parallel {rates['parallel']:.0f} "
-          f"({result['survey']['parallel']['workers']} workers)")
+          f"-> batched {result['survey']['batched']['probes_per_sec']:.0f}")
+    print(f"parallel probes/sec: cold {rates['parallel']:.0f} "
+          f"-> warm {rates['parallel_warm']:.0f} "
+          f"({result['survey']['parallel']['workers']} workers, "
+          f"{result['survey']['parallel']['shard_build_seconds_total']:.2f}s "
+          f"shard startup)")
+    stopset = result["survey"]["stopset"]
+    print(f"stop sets: {stopset['suppressed']} probes suppressed, "
+          f"{result['stopset_probes_saved']} fewer on the wire "
+          f"(archive equivalent: {result['stopset_equals_serial']})")
     print(f"instrumented survey: "
           f"{result['survey']['instrumented']['probes_per_sec']:.0f} "
           f"probes/sec ({result['instrumentation_overhead']:.1%} metrics "
           f"overhead), {result['overhead_violations']} auditor violations")
-    print(f"parallel archive equals serial: "
-          f"{result['parallel_equals_serial']}")
     print(f"wrote {path}")
     return 0
 

@@ -199,6 +199,40 @@ def _add_transport_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--metrics-format", choices=("json", "prometheus"),
                          default="json",
                          help="metrics file format (default: json)")
+    command.add_argument("--batch-window", type=int, default=0,
+                         metavar="N",
+                         help="dispatch ladder/sweep probes through the "
+                              "transport batch API, up to N per batch "
+                              "(1 keeps the probe stream identical to the "
+                              "serial path, > 1 is speculative; default: "
+                              "0, serial per-probe loop)")
+    command.add_argument("--stop-sets", action="store_true",
+                         help="Doubletree stop sets: suppress re-probing of "
+                              "path prefixes already traced this session "
+                              "(fewer probes, same map)")
+
+
+def _collector_options(args) -> dict:
+    """The probe-pipeline options shared by trace/survey (journal metadata)."""
+    options = {}
+    window = getattr(args, "batch_window", 0) or 0
+    if window >= 1:
+        options["batch_window"] = window
+    if getattr(args, "stop_sets", False):
+        options["stop_sets"] = True
+    return options
+
+
+def _collector_kwargs(options: dict) -> dict:
+    """TraceNET keyword arguments for a :func:`_collector_options` payload."""
+    kwargs = {}
+    if options.get("batch_window"):
+        kwargs["batch_window"] = options["batch_window"]
+    if options.get("stop_sets"):
+        from .probing import StopSet
+
+        kwargs["stop_set"] = StopSet()
+    return kwargs
 
 
 def cmd_trace(args) -> int:
@@ -225,13 +259,19 @@ def cmd_trace(args) -> int:
         destination = _resolve_destination(scenario, source, args.dest)
         transport = SimulatorTransport(scenario.engine())
         if args.record:
-            transport = RecordingTransport(transport, args.record, metadata={
+            metadata = {
                 "scenario": args.scenario,
                 "source": source,
                 "destination": format_ip(destination),
                 "protocol": args.protocol,
-            })
-    tool = TraceNET(transport, source, protocol=Protocol(args.protocol))
+            }
+            options = _collector_options(args)
+            if options:
+                metadata["collector"] = options
+            transport = RecordingTransport(transport, args.record,
+                                           metadata=metadata)
+    tool = TraceNET(transport, source, protocol=Protocol(args.protocol),
+                    **_collector_kwargs(_collector_options(args)))
     event_sink = None
     if args.events:
         event_sink = tool.events.subscribe(JsonlEventSink(args.events))
@@ -288,7 +328,9 @@ def cmd_survey(args) -> int:
         runner = ShardedSurveyRunner.from_network(
             network.topology, network.policy, "utdallas",
             workers=max(1, args.workers),
-            checkpoint_dir=args.checkpoint_dir)
+            checkpoint_dir=args.checkpoint_dir,
+            batch_window=max(0, args.batch_window),
+            use_stop_sets=args.stop_sets)
         outcome = runner.run(target_list)
         subnets = outcome.archive.subnets
         probes_sent = outcome.stats.sent
@@ -308,14 +350,19 @@ def cmd_survey(args) -> int:
             transport = SimulatorTransport(engine)
             mode = "serial"
             if args.record:
+                metadata = {
+                    "network": args.network,
+                    "seed": args.seed,
+                    "vantage": "utdallas",
+                }
+                options = _collector_options(args)
+                if options:
+                    metadata["collector"] = options
                 transport = RecordingTransport(transport, args.record,
-                                               metadata={
-                                                   "network": args.network,
-                                                   "seed": args.seed,
-                                                   "vantage": "utdallas",
-                                               })
+                                               metadata=metadata)
                 mode = "serial, recording"
-        tool = TraceNET(transport, "utdallas")
+        tool = TraceNET(transport, "utdallas",
+                        **_collector_kwargs(_collector_options(args)))
         sinks = []
         if args.events:
             sinks.append(tool.events.subscribe(JsonlEventSink(args.events)))

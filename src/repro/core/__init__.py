@@ -6,7 +6,13 @@ trace collection, subnet positioning (Algorithm 2), subnet exploration
 """
 
 from . import overhead
-from .collection import HopKind, HopObservation, collect_hop
+from .collection import (
+    HopKind,
+    HopObservation,
+    HopPipeline,
+    classify_response,
+    collect_hop,
+)
 from .exploration import explore_subnet, unpositioned_subnet
 from .heuristics import ExplorationState, Judgement, Verdict, evaluate_candidate
 from .positioning import SubnetPosition, position_subnet
@@ -17,6 +23,7 @@ __all__ = [
     "ExplorationState",
     "HopKind",
     "HopObservation",
+    "HopPipeline",
     "Judgement",
     "ObservedSubnet",
     "SubnetPosition",
@@ -24,6 +31,7 @@ __all__ = [
     "TraceNET",
     "TraceResult",
     "Verdict",
+    "classify_response",
     "collect_hop",
     "evaluate_candidate",
     "explore_subnet",

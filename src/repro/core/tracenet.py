@@ -21,8 +21,9 @@ from ..events import EventBus, TraceFinished, TraceStarted
 from ..netsim.packet import Protocol
 from ..probing.budget import ProbeBudget
 from ..probing.prober import Prober
+from ..probing.stopset import StopSet
 from ..transport import as_transport
-from .collection import collect_hop
+from .collection import HopPipeline, collect_hop
 from .exploration import (
     DEFAULT_MIN_PREFIX_LENGTH,
     explore_subnet,
@@ -52,6 +53,17 @@ class TraceNET:
         budget: optional probe budget shared by all traces of this instance.
         events: session-event bus shared with the prober; defaults to a
             fresh bus reachable as ``tool.events``.
+        batch_window: 0 (the default) keeps the serial per-probe loop.
+            1 dispatches every ladder probe through the transport batch API
+            one at a time — the probe stream (and thus the archive) stays
+            byte-identical to the serial path.  > 1 additionally batches
+            that many upcoming TTLs (and exploration candidate sweeps) per
+            transport round — a speculative, probe-economy-changing mode:
+            a trace that stops early has already paid for its window.
+        stop_set: a shared :class:`~repro.probing.StopSet` enabling
+            Doubletree-style suppression of already-traced path prefixes;
+            also probe-economy-changing (probes only ever go down), map-equal
+            on the reference networks.
     """
 
     def __init__(self, network, vantage_host_id: str,
@@ -63,7 +75,9 @@ class TraceNET:
                  anonymous_gap_limit: int = DEFAULT_ANONYMOUS_GAP_LIMIT,
                  budget: Optional[ProbeBudget] = None,
                  disabled_rules: frozenset = frozenset(),
-                 events: Optional[EventBus] = None):
+                 events: Optional[EventBus] = None,
+                 batch_window: int = 0,
+                 stop_set: Optional[StopSet] = None):
         self.transport = as_transport(network)
         self.events = events if events is not None else EventBus()
         self.vantage_host_id = vantage_host_id
@@ -76,6 +90,8 @@ class TraceNET:
         self.reuse_subnets = reuse_subnets
         self.anonymous_gap_limit = anonymous_gap_limit
         self.disabled_rules = disabled_rules
+        self.batch_window = max(0, batch_window)
+        self.stop_set = stop_set
         self._subnets: List[ObservedSubnet] = []
         self._member_index: Dict[int, ObservedSubnet] = {}
 
@@ -96,9 +112,17 @@ class TraceNET:
         previous_address: Optional[int] = None
         anonymous_streak = 0
         seen_addresses = set()
+        pipeline: Optional[HopPipeline] = None
+        if self.batch_window >= 1 or self.stop_set is not None:
+            pipeline = HopPipeline(self.prober, destination, self.max_hops,
+                                   window=max(1, self.batch_window),
+                                   stop_set=self.stop_set)
 
         for ttl in range(1, self.max_hops + 1):
-            observation = collect_hop(self.prober, destination, ttl)
+            if pipeline is not None:
+                observation = pipeline.hop(ttl)
+            else:
+                observation = collect_hop(self.prober, destination, ttl)
 
             if observation.is_anonymous:
                 anonymous_streak += 1
@@ -128,6 +152,11 @@ class TraceNET:
                 break
             previous_address = address
 
+        if self.stop_set is not None and result.reached:
+            self.stop_set.record(destination, [
+                (hop.ttl, hop.address)
+                for hop in result.hops if not hop.is_destination
+            ])
         result.probes_sent = self.prober.stats.sent - before.sent
         if self.events:
             self.events.emit(TraceFinished(
@@ -181,6 +210,7 @@ class TraceNET:
                     return known
             subnet = explore_subnet(self.prober, position,
                                     min_prefix_length=self.min_prefix_length,
-                                    disabled_rules=self.disabled_rules)
+                                    disabled_rules=self.disabled_rules,
+                                    batch_window=self.batch_window)
         self.register_subnet(subnet)
         return subnet

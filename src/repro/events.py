@@ -66,6 +66,38 @@ class CacheHit(SessionEvent):
 
 
 @dataclass(frozen=True)
+class ProbeSuppressed(SessionEvent):
+    """A probe the collector decided not to send at all.
+
+    Stop-set suppression (Doubletree): the hop was served from a remembered
+    path toward the same destination prefix, so nothing hit the wire *and*
+    nothing was charged to the budget — unlike :class:`CacheHit`, which
+    replays an answer this session already paid for.  ``reason`` names the
+    suppression source (currently only ``"stop-set"``); ``address`` is the
+    remembered interface when one exists.
+    """
+
+    destination: int
+    ttl: int
+    phase: Optional[str]
+    reason: str
+    address: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ProbeBatchSent(SessionEvent):
+    """One transport batch dispatched via ``send_many`` (wire probes only).
+
+    The per-probe :class:`ProbeSent` events still fire — this event carries
+    the batching shape (how many probes shared one transport round-trip)
+    for the ``probe_batches_total`` / ``probe_batch_size`` metrics.
+    """
+
+    size: int
+    phase: Optional[str]
+
+
+@dataclass(frozen=True)
 class HopObserved(SessionEvent):
     """Trace-collection mode classified the answer at one TTL."""
 
@@ -195,9 +227,10 @@ class SurveyProgressed(SessionEvent):
 EVENT_TYPES: Dict[str, Type[SessionEvent]] = {
     cls.__name__: cls
     for cls in (
-        ProbeSent, CacheHit, HopObserved, SubnetPositioned, HeuristicFired,
-        SubnetShrunk, SubnetGrown, TraceStarted, TraceFinished,
-        CheckpointWritten, SurveyProgressed, OverheadViolation,
+        ProbeSent, CacheHit, ProbeSuppressed, ProbeBatchSent, HopObserved,
+        SubnetPositioned, HeuristicFired, SubnetShrunk, SubnetGrown,
+        TraceStarted, TraceFinished, CheckpointWritten, SurveyProgressed,
+        OverheadViolation,
     )
 }
 

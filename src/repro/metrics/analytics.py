@@ -53,17 +53,24 @@ def instrumented_collection(transport: ProbeTransport, vantage: str,
                             destination: Optional[int] = None,
                             targets: Optional[Sequence[int]] = None,
                             registry: Optional[MetricsRegistry] = None,
-                            slack: float = DEFAULT_SLACK) -> MetricsRegistry:
+                            slack: float = DEFAULT_SLACK,
+                            collector_options: Optional[Dict] = None
+                            ) -> MetricsRegistry:
     """Run one collection (trace or survey) with full instrumentation.
 
     Exactly one of ``destination`` (a single tracenet session) and
     ``targets`` (a survey) must be given.  The transport's backend counters
     are captured into the registry's backend scope after the run.
+    ``collector_options`` (``batch_window``, ``stop_sets``,
+    ``stop_prefix_length``) rebuilds the collector the journal was recorded
+    with — a batched or stop-set journal replays only under the same
+    options, since they change the probe stream.
     """
     if (destination is None) == (targets is None):
         raise ValueError("pass exactly one of destination= or targets=")
     registry = registry if registry is not None else MetricsRegistry()
-    tool = TraceNET(transport, vantage)
+    tool = TraceNET(transport, vantage,
+                    **_collector_kwargs(collector_options))
     tool.events.subscribe(MetricsSink(registry))
     tool.events.subscribe(ProbeEconomyAuditor(tool.events, slack=slack))
     with registry.time("collection_seconds"):
@@ -73,6 +80,23 @@ def instrumented_collection(transport: ProbeTransport, vantage: str,
             SurveyRunner(tool).run(list(targets))
     collect_backend_metrics(registry.backend, transport)
     return registry
+
+
+def _collector_kwargs(options: Optional[Dict]) -> Dict:
+    """TraceNET keyword arguments from a journal's ``collector`` metadata."""
+    if not options:
+        return {}
+    kwargs: Dict = {}
+    window = options.get("batch_window")
+    if window:
+        kwargs["batch_window"] = int(window)
+    if options.get("stop_sets"):
+        from ..probing.stopset import StopSet
+
+        prefix_length = options.get("stop_prefix_length")
+        kwargs["stop_set"] = (StopSet(prefix_length=int(prefix_length))
+                              if prefix_length else StopSet())
+    return kwargs
 
 
 @dataclass
@@ -117,7 +141,7 @@ def stats_from_journal(source: Union[str, IO],
         destination, targets = _resolve_run_shape(metadata)
     registry = instrumented_collection(
         transport, vantage, destination=destination, targets=targets,
-        slack=slack)
+        slack=slack, collector_options=metadata.get("collector"))
     return JournalStats(
         registry=registry,
         mode="trace" if destination is not None else "survey",

@@ -16,7 +16,9 @@ from ..events import (
     HeuristicFired,
     HopObserved,
     OverheadViolation,
+    ProbeBatchSent,
     ProbeSent,
+    ProbeSuppressed,
     SessionEvent,
     SubnetGrown,
     SubnetPositioned,
@@ -33,10 +35,14 @@ SUBNET_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 SUBNET_PROBE_BUCKETS = (4, 8, 16, 32, 64, 128, 256, 512)
 TRACE_HOP_BUCKETS = (1, 2, 4, 8, 12, 16, 24, 32)
 TRACE_PROBE_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024)
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
 
 _HELP = {
     "probes_sent_total": "Wire probes sent (reconciles with Engine.stats.probes_sent)",
     "probe_cache_hits_total": "Probes answered from the prober response cache",
+    "probes_suppressed_total": "Probes never sent (stop-set redundancy elimination)",
+    "probe_batches_total": "Transport batches dispatched through send_many",
+    "probe_batch_size": "Wire probes per transport batch",
     "probe_responses_total": "Wire probes that got an answer",
     "probe_silent_total": "Wire probes that got silence",
     "probe_phase_total": "Wire probes by algorithm phase",
@@ -97,6 +103,12 @@ class MetricsSink:
             registry.observe("probe_ttl", event.ttl, buckets=TTL_BUCKETS)
         elif isinstance(event, CacheHit):
             registry.inc("probe_cache_hits_total")
+        elif isinstance(event, ProbeSuppressed):
+            registry.inc("probes_suppressed_total", reason=event.reason)
+        elif isinstance(event, ProbeBatchSent):
+            registry.inc("probe_batches_total")
+            registry.observe("probe_batch_size", event.size,
+                             buckets=BATCH_SIZE_BUCKETS)
         elif isinstance(event, HopObserved):
             registry.inc("hops_observed_total", kind=event.kind)
         elif isinstance(event, SubnetPositioned):

@@ -49,6 +49,11 @@ from .netsim.serialize import (
 from .netsim.topology import Topology
 from .metrics import MetricsRegistry, instrument
 from .probing.budget import ProbeStats
+from .probing.stopset import (
+    DEFAULT_STOP_PREFIX_LENGTH,
+    StopSet,
+    merge_stop_sets,
+)
 from .runner import SurveyRunner
 from .transport import SimulatorTransport, collect_backend_metrics
 
@@ -73,6 +78,16 @@ class ShardSpec:
     min_prefix_length: int = DEFAULT_MIN_PREFIX_LENGTH
     explore: bool = True
     reuse_subnets: bool = True
+    #: Probe batching window for each shard's collector (0 = serial loop,
+    #: 1 = batch API with a serial-identical stream, > 1 = speculative).
+    batch_window: int = 0
+    #: Doubletree stop sets: each shard fills a local set; the merge folds
+    #: them into one global set on the result.  Probe-economy-changing.
+    use_stop_sets: bool = False
+    stop_prefix_length: int = DEFAULT_STOP_PREFIX_LENGTH
+    #: Optional serialized :class:`StopSet` seeding every shard (e.g. from
+    #: a previous survey's merged global set).
+    seed_stop_set: Optional[Dict] = None
 
     @classmethod
     def from_network(cls, topology: Topology,
@@ -94,12 +109,19 @@ class ShardSpec:
         engine = Engine(topology, policy=policy, seed=self.engine_seed,
                         ip_id_noise=self.ip_id_noise,
                         path_cache=self.path_cache)
+        stop_set: Optional[StopSet] = None
+        if self.use_stop_sets:
+            stop_set = (StopSet.from_dict(self.seed_stop_set)
+                        if self.seed_stop_set is not None
+                        else StopSet(prefix_length=self.stop_prefix_length))
         return TraceNET(SimulatorTransport(engine), self.vantage,
                         protocol=Protocol(self.protocol),
                         max_hops=self.max_hops,
                         min_prefix_length=self.min_prefix_length,
                         explore=self.explore,
-                        reuse_subnets=self.reuse_subnets)
+                        reuse_subnets=self.reuse_subnets,
+                        batch_window=self.batch_window,
+                        stop_set=stop_set)
 
 
 def shard_targets(targets: Sequence[int], shards: int) -> List[List[int]]:
@@ -145,6 +167,8 @@ def _run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
         "metrics": registry.to_dict(),
         "build_seconds": built - started,
         "survey_seconds": finished - built,
+        "stop_set": (tool.stop_set.to_dict()
+                     if tool.stop_set is not None else None),
     }
 
 
@@ -156,6 +180,7 @@ def _stats_from_snapshot(snapshot: Dict[str, int]) -> ProbeStats:
         silent=snapshot.get("silent", 0),
         retries=snapshot.get("retries", 0),
         cache_hits=snapshot.get("cache_hits", 0),
+        suppressed=snapshot.get("suppressed", 0),
     )
     for key, count in snapshot.items():
         if key.startswith("phase:"):
@@ -172,6 +197,7 @@ def merge_probe_stats(parts: Sequence[ProbeStats]) -> ProbeStats:
         total.silent += part.silent
         total.retries += part.retries
         total.cache_hits += part.cache_hits
+        total.suppressed += part.suppressed
         for phase, count in part.by_phase.items():
             total.by_phase[phase] = total.by_phase.get(phase, 0) + count
     return total
@@ -264,6 +290,8 @@ class ShardOutcome:
     metrics: Optional[MetricsRegistry] = None
     build_seconds: float = 0.0
     survey_seconds: float = 0.0
+    #: Serialized shard-local stop set (None when stop sets were off).
+    stop_set: Optional[Dict] = None
 
 
 @dataclass
@@ -280,6 +308,10 @@ class ShardedSurveyResult:
     #: gauges sum too, which turns per-shard totals (``survey_targets``,
     #: engine backend counters) into fleet totals.
     metrics: Optional[MetricsRegistry] = None
+    #: The global stop set: every shard-local set merged (first-recorded
+    #: path per prefix wins, counters summed).  None when stop sets were
+    #: off; ready to seed a future survey via ``ShardSpec.seed_stop_set``.
+    stop_set: Optional[StopSet] = None
 
     @property
     def probes_sent(self) -> int:
@@ -387,6 +419,7 @@ class ShardedSurveyRunner:
                          if shard_metrics is not None else None),
                 build_seconds=payload.get("build_seconds", 0.0),
                 survey_seconds=payload.get("survey_seconds", 0.0),
+                stop_set=payload.get("stop_set"),
             ))
         merged = merge_shard_archives(
             self.spec.vantage, [o.archive for o in outcomes], targets)
@@ -395,6 +428,8 @@ class ShardedSurveyRunner:
         for outcome in outcomes:
             if outcome.metrics is not None:
                 metrics.merge(outcome.metrics)
+        shard_sets = [StopSet.from_dict(o.stop_set) for o in outcomes
+                      if o.stop_set is not None]
         return ShardedSurveyResult(
             archive=merged,
             stats=stats,
@@ -402,6 +437,7 @@ class ShardedSurveyRunner:
             workers=len(jobs),
             executed_inline=executed_inline,
             metrics=metrics,
+            stop_set=merge_stop_sets(shard_sets) if shard_sets else None,
         )
 
 

@@ -1,10 +1,26 @@
 """Probing layer: the raw-socket/scapy stand-in used by every tool.
 
 Provides :class:`~repro.probing.prober.Prober` (direct/indirect probes with
-retry, caching and metering) plus probe budgets and statistics.
+retry, caching and metering — one at a time or batched through
+``probe_many``), probe budgets and statistics, and the Doubletree-style
+:class:`~repro.probing.stopset.StopSet` for cross-trace redundancy
+elimination.
 """
 
 from .budget import ProbeBudget, ProbeBudgetExceeded, ProbeStats
 from .prober import Prober
+from .stopset import (
+    DEFAULT_STOP_PREFIX_LENGTH,
+    StopSet,
+    merge_stop_sets,
+)
 
-__all__ = ["ProbeBudget", "ProbeBudgetExceeded", "ProbeStats", "Prober"]
+__all__ = [
+    "DEFAULT_STOP_PREFIX_LENGTH",
+    "ProbeBudget",
+    "ProbeBudgetExceeded",
+    "ProbeStats",
+    "Prober",
+    "StopSet",
+    "merge_stop_sets",
+]

@@ -26,6 +26,7 @@ class ProbeStats:
     silent: int = 0
     retries: int = 0
     cache_hits: int = 0
+    suppressed: int = 0
     by_phase: Dict[str, int] = field(default_factory=dict)
 
     def record_sent(self, phase: Optional[str]) -> None:
@@ -36,6 +37,15 @@ class ProbeStats:
     def record_cache_hit(self) -> None:
         """One probe answered from the response cache, not the wire."""
         self.cache_hits += 1
+
+    def record_suppressed(self) -> None:
+        """One probe never issued at all (stop-set redundancy elimination).
+
+        Suppressed probes are free: no wire traffic, no budget charge, no
+        phase attribution — the counter only exists so probe-economy
+        reports can show how much the stop sets saved.
+        """
+        self.suppressed += 1
 
     def phase_delta(self, earlier: "ProbeStats") -> Dict[str, int]:
         """Per-phase wire probes spent since ``earlier`` (sorted keys).
@@ -65,6 +75,7 @@ class ProbeStats:
             "silent": self.silent,
             "retries": self.retries,
             "cache_hits": self.cache_hits,
+            "suppressed": self.suppressed,
         }
         for phase, count in sorted(self.by_phase.items()):
             flat[f"phase:{phase}"] = count
@@ -78,6 +89,7 @@ class ProbeStats:
             silent=self.silent - earlier.silent,
             retries=self.retries - earlier.retries,
             cache_hits=self.cache_hits - earlier.cache_hits,
+            suppressed=self.suppressed - earlier.suppressed,
         )
         for phase, count in self.by_phase.items():
             before = earlier.by_phase.get(phase, 0)
@@ -92,6 +104,7 @@ class ProbeStats:
             silent=self.silent,
             retries=self.retries,
             cache_hits=self.cache_hits,
+            suppressed=self.suppressed,
             by_phase=dict(self.by_phase),
         )
 

@@ -16,6 +16,7 @@ from .base import (
     as_transport,
     backend_metrics,
     collect_backend_metrics,
+    send_batch,
 )
 from .fault import FaultInjectingTransport
 from .journal import (
@@ -40,4 +41,5 @@ __all__ = [
     "as_transport",
     "backend_metrics",
     "collect_backend_metrics",
+    "send_batch",
 ]

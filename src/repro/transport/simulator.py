@@ -9,7 +9,7 @@ path (the wrapper adds nothing but the capability descriptor).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..netsim.engine import Engine
 from ..netsim.packet import Probe, Response
@@ -28,9 +28,17 @@ class SimulatorTransport:
 
     def __init__(self, engine: Engine):
         self.engine = engine
+        self.batches = 0
+        self.batched_probes = 0
 
     def send(self, probe: Probe) -> Optional[Response]:
         return self.engine.send(probe)
+
+    def send_many(self, probes: Sequence[Probe]) -> List[Optional[Response]]:
+        """Batch-serve memoized response plans in one engine call."""
+        self.batches += 1
+        self.batched_probes += len(probes)
+        return self.engine.send_many(probes)
 
     def capabilities(self) -> TransportCapabilities:
         return _SIMULATOR_CAPS
@@ -45,7 +53,10 @@ class SimulatorTransport:
         """Engine counters, fast-path accounting included — the only route
         by which ``engine.stats`` reaches the metrics layer (which is
         sealed off from ``netsim.engine``)."""
-        return self.engine.stats.snapshot()
+        metrics = self.engine.stats.snapshot()
+        metrics["transport_batches"] = self.batches
+        metrics["transport_batched_probes"] = self.batched_probes
+        return metrics
 
     def close(self) -> None:
         """The engine holds no external resources."""
