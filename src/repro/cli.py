@@ -144,10 +144,64 @@ def build_parser() -> argparse.ArgumentParser:
     export_cmd.add_argument("--out", required=True, metavar="PATH")
     export_cmd.set_defaults(handler=cmd_export)
 
+    submit = subparsers.add_parser(
+        "submit", help="queue a survey job for the distributed service")
+    submit.add_argument("--queue", required=True, metavar="DIR",
+                        help="service directory (holds queue.jsonl and "
+                             "per-job artifacts)")
+    submit.add_argument("--network", choices=("internet2", "geant"),
+                        default="internet2")
+    submit.add_argument("--seed", type=int, default=7)
+    submit.add_argument("--shards", type=int, default=2,
+                        help="split the target list into N shard leases")
+    submit.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="survey only the first N targets")
+    submit.add_argument("--checkpoint-every", type=int, default=25,
+                        metavar="N", help="shard checkpoint cadence")
+    submit.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                        help="lease attempts per shard before the job fails")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--batch-window", type=int, default=0, metavar="N",
+                        help="per-shard probe batching window")
+    submit.add_argument("--stop-sets", action="store_true",
+                        help="enable Doubletree stop sets per shard")
+    submit.set_defaults(handler=cmd_submit)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the survey service: drain the queue with a "
+                      "fleet of vantage workers")
+    serve.add_argument("--queue", required=True, metavar="DIR",
+                       help="service directory written by 'tracenet submit'")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="vantage workers in the fleet (default: 2)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="re-lease a shard after this long without a "
+                            "worker heartbeat")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="abort the fleet after this wall-clock budget")
+    serve.add_argument("--stream-every", type=int, default=64, metavar="N",
+                       help="worker event-stream flush cadence")
+    serve.add_argument("--kill-worker-after", type=int, default=None,
+                       metavar="N",
+                       help="fault injection: the first worker dies "
+                            "silently after N survey targets (exercises "
+                            "re-lease + checkpoint resume)")
+    serve.set_defaults(handler=cmd_serve)
+
+    jobs_cmd = subparsers.add_parser(
+        "jobs", help="list the jobs in a service queue")
+    jobs_cmd.add_argument("--queue", required=True, metavar="DIR")
+    jobs_cmd.set_defaults(handler=cmd_jobs)
+
     stats_cmd = subparsers.add_parser(
-        "stats", help="replay a probe journal offline and print its metrics")
+        "stats", help="replay a probe or event journal offline and print "
+                      "its metrics")
     stats_cmd.add_argument("journal", metavar="JOURNAL",
-                           help="a JSONL probe journal written by --record")
+                           help="a JSONL probe journal written by --record, "
+                                "or a session-event journal written by "
+                                "--events / the survey service")
     stats_cmd.add_argument("--source", default=None,
                            help="vantage host id (default: from the journal)")
     stats_cmd.add_argument("--dest", default=None,
@@ -509,13 +563,145 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _service_queue(directory: str):
+    """The service directory's durable job queue."""
+    import os
+
+    from .service import JobQueue
+
+    return JobQueue(os.path.join(directory, "queue.jsonl"))
+
+
+def cmd_submit(args) -> int:
+    from .parallel import ShardSpec
+    from .service import SurveyJob
+
+    module = internet2 if args.network == "internet2" else geant
+    network = module.build(seed=args.seed)
+    target_list = module.targets(network, seed=args.seed)
+    if args.limit is not None:
+        target_list = target_list[:max(0, args.limit)]
+    if not target_list:
+        print("no targets to survey (check --limit)", file=sys.stderr)
+        return 2
+    spec = ShardSpec.from_network(
+        network.topology, network.policy, "utdallas",
+        batch_window=max(0, args.batch_window),
+        use_stop_sets=args.stop_sets)
+    queue = _service_queue(args.queue)
+    job = queue.submit(SurveyJob(
+        job_id=queue.next_job_id(),
+        spec=spec,
+        targets=list(target_list),
+        shards=max(1, args.shards),
+        checkpoint_every=max(1, args.checkpoint_every),
+        tenant=args.tenant,
+        max_attempts=max(1, args.max_attempts),
+        metadata={"network": args.network, "seed": args.seed},
+    ))
+    print(f"queued {job.job_id}: {args.network} seed {args.seed}, "
+          f"{len(target_list)} targets over {job.shards} shard(s)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import dataclasses
+    import os
+
+    from .mapping import archive_to_dict
+    from .service import (
+        Coordinator,
+        JobState,
+        ServiceFleet,
+        VantageWorker,
+        shard_attempt_summary,
+    )
+
+    queue = _service_queue(args.queue)
+    if not queue.jobs:
+        print("queue is empty; nothing to serve", file=sys.stderr)
+        return 0
+    coordinator = Coordinator(queue=queue, work_dir=args.queue,
+                              heartbeat_timeout=args.heartbeat_timeout)
+    pending = [job.job_id for job in queue.unfinished()]
+    if not pending:
+        print("every job is already terminal; nothing to serve",
+              file=sys.stderr)
+        return 0
+    workers = []
+    for index in range(max(1, args.workers)):
+        fail_after = (args.kill_worker_after
+                      if index == 0 and args.kill_worker_after else None)
+        workers.append(VantageWorker(
+            f"worker-{index}", coordinator,
+            stream_every=max(1, args.stream_every),
+            fail_after_targets=fail_after))
+    ServiceFleet(coordinator, workers).run(timeout=args.timeout)
+    crashed = sum(1 for worker in workers if worker.crashed)
+    print(f"fleet of {len(workers)} worker(s) drained "
+          f"{len(pending)} job(s)"
+          + (f" ({crashed} worker death(s) survived)" if crashed else ""))
+    failures = 0
+    for job_id in pending:
+        job = queue.get(job_id)
+        if job.state is not JobState.DONE:
+            failures += 1
+            print(f"  {job_id}: {job.state.value} — {job.error}")
+            continue
+        result = coordinator.result(job_id)
+        job_dir = os.path.join(args.queue, job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        archive_path = os.path.join(job_dir, "archive.json")
+        with open(archive_path, "w", encoding="utf-8") as fp:
+            json.dump(archive_to_dict(result.archive), fp, indent=1)
+        result_path = os.path.join(job_dir, "result.json")
+        with open(result_path, "w", encoding="utf-8") as fp:
+            json.dump({
+                "job": job.to_dict(),
+                "attempts": {str(k): v
+                             for k, v in sorted(result.attempts.items())},
+                "stats": dataclasses.asdict(result.stats),
+                "metrics": result.metrics.full_snapshot(),
+                "event_counts": dict(sorted(result.event_counts.items())),
+                "events_path": result.events_path,
+                "archive_path": archive_path,
+                "stop_set": (result.stop_set.to_dict()
+                             if result.stop_set is not None else None),
+                "dedupe": coordinator.store.counters(),
+            }, fp, indent=1, sort_keys=True)
+        print(f"  {job_id}: done — {len(result.archive.subnets)} subnets, "
+              f"{result.stats.sent} probes, "
+              f"{shard_attempt_summary(result.attempts)} "
+              f"-> {result_path}")
+    return 1 if failures else 0
+
+
+def cmd_jobs(args) -> int:
+    queue = _service_queue(args.queue)
+    if not queue.jobs:
+        print("(queue is empty)")
+        return 0
+    for job in queue.jobs.values():
+        line = (f"{job.job_id}  {job.state.value:8s}  "
+                f"{len(job.targets)} targets / {job.shards} shard(s)  "
+                f"tenant={job.tenant}")
+        if job.metadata.get("network"):
+            line += (f"  [{job.metadata['network']}"
+                     f" seed {job.metadata.get('seed')}]")
+        if job.error:
+            line += f"  error: {job.error}"
+        print(line)
+    return 0
+
+
 def cmd_stats(args) -> int:
+    from .metrics import journal_kind, stats_from_events
+
     try:
-        stats = stats_from_journal(
-            args.journal,
-            vantage=args.source,
-            destination=ip(args.dest) if args.dest else None,
-        )
+        if journal_kind(args.journal) == "events":
+            stats = stats_from_events(args.journal)
+        else:
+            stats = _probe_journal_stats(args)
     except (OSError, ValueError) as exc:
         print(f"stats failed: {exc}", file=sys.stderr)
         return 2
@@ -527,6 +713,14 @@ def cmd_stats(args) -> int:
     else:
         _write_metrics(stats.registry, "-", args.metrics_format)
     return 0
+
+
+def _probe_journal_stats(args):
+    return stats_from_journal(
+        args.journal,
+        vantage=args.source,
+        destination=ip(args.dest) if args.dest else None,
+    )
 
 
 def _resolve_destination(scenario, source: str, dest: Optional[str]) -> int:

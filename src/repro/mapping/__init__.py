@@ -10,6 +10,7 @@ from .graph import (
 from .merge import MergedSubnet, confirmed, coverage, merge_collections
 from .store import (
     CollectionArchive,
+    SubnetDedupeStore,
     archive_from_dict,
     archive_from_tool,
     archive_to_dict,
@@ -24,6 +25,7 @@ from .store import (
 __all__ = [
     "CollectionArchive",
     "MergedSubnet",
+    "SubnetDedupeStore",
     "TopologyMap",
     "annotate_same_lan",
     "archive_from_dict",

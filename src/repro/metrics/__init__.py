@@ -30,7 +30,9 @@ from ..events import EventBus
 from .analytics import (
     JournalStats,
     instrumented_collection,
+    journal_kind,
     registry_from_events,
+    stats_from_events,
     stats_from_journal,
 )
 from .auditor import DEFAULT_SLACK, ProbeEconomyAuditor
@@ -88,7 +90,9 @@ __all__ = [
     "ProbeEconomyAuditor",
     "instrument",
     "instrumented_collection",
+    "journal_kind",
     "registry_from_events",
     "render_prometheus",
+    "stats_from_events",
     "stats_from_journal",
 ]

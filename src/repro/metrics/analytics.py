@@ -113,6 +113,9 @@ class JournalStats:
     exchanges_remaining: int = 0
 
     def describe(self) -> str:
+        if self.mode == "events":
+            return (f"replayed {self.exchanges_served} session events "
+                    f"through the metrics pipeline")
         what = ("1 trace" if self.mode == "trace"
                 else f"{len(self.targets)} survey targets")
         return (f"replayed {what} from vantage {self.vantage!r}: "
@@ -152,6 +155,56 @@ def stats_from_journal(source: Union[str, IO],
         exchanges_served=transport.cursor,
         exchanges_remaining=transport.remaining,
     )
+
+
+def stats_from_events(source: Union[str, IO],
+                      audit: bool = False,
+                      slack: float = DEFAULT_SLACK) -> JournalStats:
+    """Rebuild a registry from a session-event journal (``--events``).
+
+    The cheaper sibling of :func:`stats_from_journal`: an event journal
+    already *is* the session-event sequence, so no collector re-run is
+    needed — the events are fed straight through a fresh
+    :class:`MetricsSink`.  This is also the offline half of the survey
+    service's parity contract: replaying a job's committed event journal
+    must reproduce the coordinator's streamed registry exactly.  Keep
+    ``audit=False`` for journals recorded with an auditor attached (the
+    live auditor's violations are already in the stream).
+    """
+    from ..events import replay_events
+
+    events = replay_events(source)
+    registry = registry_from_events(events, audit=audit, slack=slack)
+    return JournalStats(
+        registry=registry,
+        mode="events",
+        vantage="",
+        metadata={},
+        exchanges_served=len(events),
+    )
+
+
+def journal_kind(source: str) -> str:
+    """``"events"`` for a session-event journal, ``"probes"`` otherwise.
+
+    Event journals carry an ``"event"`` key on every record; probe
+    journals start with a header record.  An empty file counts as a probe
+    journal (ReplayTransport gives the clearer error).
+    """
+    import json as _json
+
+    with open(source, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = _json.loads(line)
+            except ValueError:
+                return "probes"
+            return ("events" if isinstance(record, dict)
+                    and "event" in record else "probes")
+    return "probes"
 
 
 def _resolve_run_shape(metadata: Dict):

@@ -19,6 +19,14 @@ content-equality contract used by the tests and the throughput bench.
 Each shard checkpoints through the ordinary :class:`SurveyRunner` machinery
 into its own file under ``checkpoint_dir``, so an interrupted parallel
 survey resumes shard by shard.
+
+This module is deliberately split into **service primitives** and the
+legacy one-shot runner.  :func:`run_shard`, :func:`outcome_from_payload`
+and :func:`merge_outcomes` are the primitives: one shard in, one plain
+payload out, many payloads merged into one survey-wide result.
+:class:`ShardedSurveyRunner` composes them over a local process pool;
+:mod:`repro.service` composes the same primitives into a long-running
+coordinator/worker fleet with leases, heartbeats and re-delivery.
 """
 
 from __future__ import annotations
@@ -36,7 +44,9 @@ from .mapping.store import (
     CollectionArchive,
     archive_from_dict,
     archive_to_dict,
+    subnet_from_dict,
 )
+from .netsim.addressing import format_ip
 from .netsim.engine import Engine
 from .netsim.packet import Protocol
 from .netsim.responsiveness import ResponsePolicy
@@ -56,6 +66,35 @@ from .probing.stopset import (
 )
 from .runner import SurveyRunner
 from .transport import SimulatorTransport, collect_backend_metrics
+
+
+class ShardExecutionError(RuntimeError):
+    """One shard of a parallel survey failed, with enough context to act.
+
+    Names the shard index, the target slice it was working (first/last
+    target and count), and the shard's checkpoint path — so an operator
+    knows exactly which ``shard-<i>.json`` file holds the salvageable
+    partial work and which targets are affected.  The surviving shards'
+    checkpoints are untouched and remain usable for a resumed run.
+    """
+
+    def __init__(self, shard_index: int, targets: Sequence[int],
+                 checkpoint_path: Optional[str], cause: BaseException):
+        self.shard_index = shard_index
+        self.targets = list(targets)
+        self.checkpoint_path = checkpoint_path
+        self.cause = cause
+        if self.targets:
+            span = (f"{len(self.targets)} targets "
+                    f"[{format_ip(self.targets[0])}.."
+                    f"{format_ip(self.targets[-1])}]")
+        else:
+            span = "0 targets"
+        where = (f"checkpoint {checkpoint_path}" if checkpoint_path
+                 else "no checkpoint")
+        super().__init__(
+            f"shard {shard_index} failed over {span} ({where}): "
+            f"{type(cause).__name__}: {cause}")
 
 
 @dataclass(frozen=True)
@@ -143,19 +182,47 @@ def shard_targets(targets: Sequence[int], shards: int) -> List[List[int]]:
     return slices
 
 
-def _run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
-               checkpoint_path: Optional[str],
-               checkpoint_every: int) -> Dict:
-    """Worker entry point: rebuild, survey one shard, return plain dicts."""
+def run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
+              checkpoint_path: Optional[str],
+              checkpoint_every: int,
+              sinks: Sequence = (),
+              seed_subnets: Optional[Sequence[Dict]] = None,
+              audit: bool = True) -> Dict:
+    """Worker entry point: rebuild, survey one shard, return plain dicts.
+
+    This is the shard primitive shared by the process-pool runner and the
+    :mod:`repro.service` vantage workers:
+
+    * ``sinks`` are extra session-event sinks subscribed before the survey
+      starts (service workers stream events to the coordinator this way);
+    * ``seed_subnets`` are serialized :class:`ObservedSubnet` payloads
+      (:func:`~repro.mapping.store.subnet_to_dict`) registered into the
+      collector's reuse registry — the shared-dedupe-store hook that lets
+      a shard skip re-exploring prefixes another shard already collected.
+      Prefixes already present (e.g. from a resumed checkpoint) are not
+      registered twice;
+    * ``audit=False`` suppresses the in-shard probe-economy auditor so a
+      coordinator can run one auditor over the merged event stream instead
+      of double-counting violations.
+    """
     started = time.perf_counter()
     tool = spec.build_tool()
+    for sink in sinks:
+        tool.events.subscribe(sink)
     events = CounterSink()
     tool.events.subscribe(events)
     registry = MetricsRegistry()
-    instrument(tool.events, registry=registry)
+    instrument(tool.events, registry=registry, audit=audit)
     built = time.perf_counter()
     runner = SurveyRunner(tool, checkpoint_path=checkpoint_path,
                           checkpoint_every=checkpoint_every)
+    if seed_subnets:
+        known = {str(subnet.prefix) for subnet in tool.collected_subnets}
+        for payload in seed_subnets:
+            if payload["prefix"] in known:
+                continue
+            tool.register_subnet(subnet_from_dict(payload))
+            known.add(payload["prefix"])
     runner.run(targets)
     collect_backend_metrics(registry.backend, tool.transport)
     finished = time.perf_counter()
@@ -170,6 +237,10 @@ def _run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
         "stop_set": (tool.stop_set.to_dict()
                      if tool.stop_set is not None else None),
     }
+
+
+#: Backwards-compatible alias (the primitive used to be module-private).
+_run_shard = run_shard
 
 
 def _stats_from_snapshot(snapshot: Dict[str, int]) -> ProbeStats:
@@ -275,7 +346,7 @@ def archives_equivalent(left: CollectionArchive,
     return archive_signature(left) == archive_signature(right)
 
 
-# -- the sharded runner --------------------------------------------------------
+# -- shard payloads and merging ------------------------------------------------
 
 
 @dataclass
@@ -290,8 +361,63 @@ class ShardOutcome:
     metrics: Optional[MetricsRegistry] = None
     build_seconds: float = 0.0
     survey_seconds: float = 0.0
-    #: Serialized shard-local stop set (None when stop sets were off).
-    stop_set: Optional[Dict] = None
+    #: Shard-local stop set, deserialized at merge time like every other
+    #: payload field (None when stop sets were off).
+    stop_set: Optional[StopSet] = None
+    #: Lease attempt that produced this outcome (1 on the first delivery;
+    #: > 1 means the shard was re-leased after a worker death).
+    attempt: int = 1
+
+
+def outcome_from_payload(shard_index: int, targets: Sequence[int],
+                         payload: Dict, attempt: int = 1) -> ShardOutcome:
+    """Rehydrate one :func:`run_shard` payload into a typed outcome.
+
+    Every payload field crosses the process (or service) boundary as plain
+    JSON and is round-tripped through its own class here: the archive via
+    :func:`archive_from_dict`, the counters via :class:`ProbeStats`, the
+    registry via :meth:`MetricsRegistry.from_dict`, and the stop set via
+    :meth:`StopSet.from_dict`.
+    """
+    shard_metrics = payload.get("metrics")
+    shard_stop_set = payload.get("stop_set")
+    return ShardOutcome(
+        shard_index=shard_index,
+        targets=list(targets),
+        archive=archive_from_dict(payload["archive"]),
+        stats=_stats_from_snapshot(payload["stats"]),
+        event_counts=payload.get("events", {}),
+        metrics=(MetricsRegistry.from_dict(shard_metrics)
+                 if shard_metrics is not None else None),
+        build_seconds=payload.get("build_seconds", 0.0),
+        survey_seconds=payload.get("survey_seconds", 0.0),
+        stop_set=(StopSet.from_dict(shard_stop_set)
+                  if shard_stop_set is not None else None),
+        attempt=attempt,
+    )
+
+
+def merge_outcomes(vantage: str, targets: Sequence[int],
+                   outcomes: Sequence[ShardOutcome],
+                   ) -> Tuple[CollectionArchive, ProbeStats,
+                              MetricsRegistry, Optional[StopSet]]:
+    """Fold per-shard outcomes into one survey-wide view.
+
+    The merge half of the shard primitive: archives deduplicate by prefix
+    and reorder to the original target order, probe counters and metric
+    registries sum, and shard-local stop sets fold into one global set.
+    Used by both :class:`ShardedSurveyRunner` and the service coordinator.
+    """
+    archive = merge_shard_archives(
+        vantage, [o.archive for o in outcomes], targets)
+    stats = merge_probe_stats([o.stats for o in outcomes])
+    metrics = MetricsRegistry()
+    for outcome in outcomes:
+        if outcome.metrics is not None:
+            metrics.merge(outcome.metrics)
+    shard_sets = [o.stop_set for o in outcomes if o.stop_set is not None]
+    stop_set = merge_stop_sets(shard_sets) if shard_sets else None
+    return archive, stats, metrics, stop_set
 
 
 @dataclass
@@ -390,46 +516,42 @@ class ShardedSurveyRunner:
             else:
                 with pool:
                     futures = [
-                        pool.submit(_run_shard, self.spec, index, shard,
+                        pool.submit(run_shard, self.spec, index, shard,
                                     checkpoint, self.checkpoint_every)
                         for index, shard, checkpoint in jobs
                     ]
-                    payloads = [future.result() for future in futures]
+                    payloads = []
+                    for (index, shard, checkpoint), future in zip(jobs,
+                                                                  futures):
+                        try:
+                            payloads.append(future.result())
+                        except Exception as exc:
+                            # Name the failed shard: the exception carries
+                            # the shard index, its target slice, and its
+                            # checkpoint path, and the surviving shards'
+                            # checkpoints stay usable for a resumed run.
+                            raise ShardExecutionError(
+                                index, shard, checkpoint, exc) from exc
         return self._merge(targets, jobs, payloads, executed_inline)
 
     # -- internals -------------------------------------------------------
 
     def _run_inline(self, job: Tuple[int, List[int], Optional[str]]) -> Dict:
         index, shard, checkpoint = job
-        return _run_shard(self.spec, index, shard, checkpoint,
-                          self.checkpoint_every)
+        try:
+            return run_shard(self.spec, index, shard, checkpoint,
+                             self.checkpoint_every)
+        except Exception as exc:
+            raise ShardExecutionError(index, shard, checkpoint, exc) from exc
 
     def _merge(self, targets: Sequence[int], jobs, payloads,
                executed_inline: bool) -> ShardedSurveyResult:
-        outcomes = []
-        for (index, shard, _), payload in zip(jobs, payloads):
-            shard_metrics = payload.get("metrics")
-            outcomes.append(ShardOutcome(
-                shard_index=index,
-                targets=shard,
-                archive=archive_from_dict(payload["archive"]),
-                stats=_stats_from_snapshot(payload["stats"]),
-                event_counts=payload.get("events", {}),
-                metrics=(MetricsRegistry.from_dict(shard_metrics)
-                         if shard_metrics is not None else None),
-                build_seconds=payload.get("build_seconds", 0.0),
-                survey_seconds=payload.get("survey_seconds", 0.0),
-                stop_set=payload.get("stop_set"),
-            ))
-        merged = merge_shard_archives(
-            self.spec.vantage, [o.archive for o in outcomes], targets)
-        stats = merge_probe_stats([o.stats for o in outcomes])
-        metrics = MetricsRegistry()
-        for outcome in outcomes:
-            if outcome.metrics is not None:
-                metrics.merge(outcome.metrics)
-        shard_sets = [StopSet.from_dict(o.stop_set) for o in outcomes
-                      if o.stop_set is not None]
+        outcomes = [
+            outcome_from_payload(index, shard, payload)
+            for (index, shard, _), payload in zip(jobs, payloads)
+        ]
+        merged, stats, metrics, stop_set = merge_outcomes(
+            self.spec.vantage, targets, outcomes)
         return ShardedSurveyResult(
             archive=merged,
             stats=stats,
@@ -437,7 +559,7 @@ class ShardedSurveyRunner:
             workers=len(jobs),
             executed_inline=executed_inline,
             metrics=metrics,
-            stop_set=merge_stop_sets(shard_sets) if shard_sets else None,
+            stop_set=stop_set,
         )
 
 

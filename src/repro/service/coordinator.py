@@ -1,0 +1,502 @@
+"""The survey coordinator: leases, heartbeats, streaming, fault recovery.
+
+The coordinator is the long-running brain of the distributed survey
+service.  It owns the :class:`~repro.service.jobs.JobQueue`, splits each
+accepted job into shards (:func:`repro.parallel.shard_targets`), and hands
+shards to vantage workers as **leases**.  Everything a worker does flows
+back through four calls — :meth:`Coordinator.lease`,
+:meth:`Coordinator.heartbeat`, :meth:`Coordinator.stream` and
+:meth:`Coordinator.complete`/:meth:`Coordinator.fail` — each of which is
+**fenced**: the call must present the lease's worker id and attempt
+number, so a worker that was declared dead and re-leased cannot corrupt
+the job when it comes back from a long GC pause (its calls raise
+:class:`StaleLeaseError` and it abandons the shard).
+
+Fault tolerance is heartbeat-driven: workers heartbeat on every survey
+target, :meth:`Coordinator.reap` expires leases whose heartbeat is older
+than ``heartbeat_timeout`` and puts the shard back on the pending list
+with ``attempt + 1``.  The next worker to lease it resumes from the
+shard's checkpoint file (the ordinary :class:`~repro.runner.SurveyRunner`
+resume path), so re-delivery costs only the targets since the last
+checkpoint.  A shard that exceeds ``SurveyJob.max_attempts`` fails the
+job with an error naming the shard, its target slice and its checkpoint.
+
+**Event streaming and the commit log.**  Workers stream serialized
+session events in order.  The coordinator treats
+:class:`~repro.events.CheckpointWritten` markers as commit points: events
+up to the last marker in the stream are *committed* — appended to the
+job's event journal, fed through the coordinator's own
+:class:`~repro.metrics.MetricsSink` and probe-economy auditor — while the
+tail stays pending.  When a shard completes, its remaining tail commits;
+when its lease expires, the tail is discarded.  The committed stream
+therefore describes exactly the *effective* execution (work whose results
+survive in some checkpoint or payload), with no duplicates and no holes:
+a crashed attempt's committed targets are precisely the ones its
+successor skips on resume.  Live streamed totals and an offline replay of
+the job journal (:func:`repro.metrics.registry_from_events`) agree by
+construction — the live == replay parity contract, preserved across
+worker death.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Sequence
+
+from ..events import (
+    CheckpointWritten,
+    CounterSink,
+    EventBus,
+    event_from_dict,
+    event_to_dict,
+)
+from ..mapping.store import CollectionArchive, SubnetDedupeStore
+from ..metrics import MetricsRegistry, MetricsSink, ProbeEconomyAuditor
+from ..parallel import (
+    ShardOutcome,
+    ShardSpec,
+    merge_outcomes,
+    outcome_from_payload,
+    shard_targets,
+)
+from ..probing.budget import ProbeStats
+from ..probing.stopset import StopSet
+from .jobs import JobQueue, JobState, SurveyJob
+
+#: Leases whose heartbeat is older than this many seconds are reaped.
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0
+
+
+class StaleLeaseError(RuntimeError):
+    """A worker acted on a lease the coordinator no longer recognizes.
+
+    Raised on heartbeat/stream/complete/fail calls whose (worker, attempt)
+    no longer holds the shard — the fencing that keeps a worker presumed
+    dead (and already replaced) from corrupting the job if it wakes up.
+    The worker's correct response is to abandon the shard silently.
+    """
+
+
+@dataclass
+class ShardLease:
+    """One shard currently delegated to one worker."""
+
+    job_id: str
+    shard_index: int
+    worker_id: str
+    attempt: int
+    leased_at: float
+    last_heartbeat: float
+
+
+@dataclass
+class ShardTask:
+    """What a worker receives when a lease is granted."""
+
+    job_id: str
+    shard_index: int
+    attempt: int
+    spec: ShardSpec
+    targets: List[int]
+    checkpoint_path: Optional[str]
+    checkpoint_every: int
+    #: Serialized subnets already collected by the fleet for this
+    #: scenario — seeds the worker's reuse registry (shared dedupe).
+    seed_subnets: List[Dict] = field(default_factory=list)
+
+
+@dataclass
+class JobResult:
+    """The merged outcome of one finished job."""
+
+    job: SurveyJob
+    archive: CollectionArchive
+    stats: ProbeStats
+    #: The coordinator's streamed registry: a pure function of the
+    #: committed event stream, equal to an offline replay of
+    #: ``events_path`` — *not* the sum of shard payload registries, which
+    #: cover only the attempts that completed (work lost to worker deaths
+    #: appears here, in the committed stream, but in no payload).
+    metrics: MetricsRegistry
+    stop_set: Optional[StopSet]
+    shards: List[ShardOutcome]
+    #: Lease attempts per shard index (a value > 1 means a re-lease).
+    attempts: Dict[int, int]
+    event_counts: Dict[str, int]
+    events_path: Optional[str] = None
+
+
+class _JobRuntime:
+    """Coordinator-internal live state of one running job."""
+
+    def __init__(self, job: SurveyJob, slices: List[List[int]],
+                 events_path: Optional[str]):
+        self.job = job
+        self.slices = slices
+        self.pending: List[int] = list(range(len(slices)))
+        self.leases: Dict[int, ShardLease] = {}
+        self.payloads: Dict[int, Dict] = {}
+        self.outcomes: Dict[int, ShardOutcome] = {}
+        self.attempts: Dict[int, int] = {index: 0
+                                         for index in range(len(slices))}
+        #: Uncommitted streamed events per shard (serialized payloads).
+        self.uncommitted: Dict[int, List[Dict]] = {}
+        #: Latest streamed registry snapshot per shard (live introspection).
+        self.live_snapshots: Dict[int, Dict] = {}
+        self.events_path = events_path
+        self._events_fp: Optional[IO] = None
+        self.committed_events: List[Dict] = []
+        # The coordinator-side event pipeline: metrics sink + counter sink
+        # + journal writer + ONE auditor for the whole job (shards run
+        # with audit=False so violations are judged centrally, once).
+        self.registry = MetricsRegistry()
+        self.bus = EventBus()
+        self.bus.subscribe(MetricsSink(self.registry))
+        self.counter = CounterSink()
+        self.bus.subscribe(self.counter)
+        self.bus.subscribe(self._journal_sink)
+        self.auditor = ProbeEconomyAuditor(self.bus)
+        self.bus.subscribe(self.auditor)
+
+    def _journal_sink(self, event) -> None:
+        payload = event_to_dict(event)
+        self.committed_events.append(payload)
+        if self.events_path is None:
+            return
+        if self._events_fp is None:
+            parent = os.path.dirname(self.events_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._events_fp = open(self.events_path, "w", encoding="utf-8")
+        self._events_fp.write(json.dumps(payload, sort_keys=True))
+        self._events_fp.write("\n")
+
+    def commit(self, shard_index: int, payloads: Sequence[Dict]) -> None:
+        """Feed committed events through the pipeline, in stream order."""
+        for payload in payloads:
+            self.bus.emit(event_from_dict(payload))
+        if self._events_fp is not None:
+            self._events_fp.flush()
+
+    def close(self) -> None:
+        if self._events_fp is not None:
+            self._events_fp.close()
+            self._events_fp = None
+
+
+class Coordinator:
+    """Accepts survey jobs and drives a fleet of vantage workers.
+
+    Args:
+        queue: the (possibly journal-backed) job queue; a fresh in-memory
+            queue by default.  Mid-flight jobs found in a durable queue
+            are demoted back to ``queued`` (crash recovery).
+        store: the shared subnet dedupe store; a fresh one by default.
+        work_dir: when set, per-job artifacts land under
+            ``<work_dir>/<job_id>/`` — shard checkpoints (unless the job
+            names its own directory) and the committed event journal.
+        heartbeat_timeout: seconds without a heartbeat before a lease is
+            considered dead and its shard re-leased.
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(self, queue: Optional[JobQueue] = None,
+                 store: Optional[SubnetDedupeStore] = None,
+                 work_dir: Optional[str] = None,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 clock=time.monotonic):
+        self.queue = queue if queue is not None else JobQueue()
+        self.store = store if store is not None else SubnetDedupeStore()
+        self.work_dir = work_dir
+        self.heartbeat_timeout = heartbeat_timeout
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._runtimes: Dict[str, _JobRuntime] = {}
+        self._results: Dict[str, JobResult] = {}
+        self.queue.recover()
+
+    # -- job intake ------------------------------------------------------
+
+    def submit(self, spec: ShardSpec, targets: Sequence[int],
+               shards: int = 2, checkpoint_dir: Optional[str] = None,
+               checkpoint_every: int = 25, tenant: str = "default",
+               max_attempts: int = 3,
+               job_id: Optional[str] = None) -> SurveyJob:
+        """Accept one survey job; returns it in ``queued`` state."""
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        with self._lock:
+            job = SurveyJob(
+                job_id=job_id or self.queue.next_job_id(),
+                spec=spec,
+                targets=list(targets),
+                shards=shards,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                tenant=tenant,
+                max_attempts=max_attempts,
+            )
+            return self.queue.submit(job)
+
+    def jobs(self) -> List[SurveyJob]:
+        with self._lock:
+            return list(self.queue.jobs.values())
+
+    def unfinished(self) -> bool:
+        """True while any job still needs scheduling, work, or merging."""
+        with self._lock:
+            return bool(self.queue.unfinished())
+
+    def result(self, job_id: str) -> JobResult:
+        """The merged result of a ``done`` job (KeyError otherwise)."""
+        with self._lock:
+            return self._results[job_id]
+
+    # -- the worker-facing API -------------------------------------------
+
+    def lease(self, worker_id: str) -> Optional[ShardTask]:
+        """Grant the next pending shard to ``worker_id`` (None when idle).
+
+        Prefers shards of already-running jobs (FIFO by submission);
+        activates the next queued job only when nothing is pending.
+        """
+        with self._lock:
+            runtime = self._next_pending_runtime()
+            if runtime is None:
+                return None
+            job = runtime.job
+            shard_index = runtime.pending.pop(0)
+            runtime.attempts[shard_index] += 1
+            now = self.clock()
+            runtime.leases[shard_index] = ShardLease(
+                job_id=job.job_id,
+                shard_index=shard_index,
+                worker_id=worker_id,
+                attempt=runtime.attempts[shard_index],
+                leased_at=now,
+                last_heartbeat=now,
+            )
+            runtime.uncommitted[shard_index] = []
+            return ShardTask(
+                job_id=job.job_id,
+                shard_index=shard_index,
+                attempt=runtime.attempts[shard_index],
+                spec=job.spec,
+                targets=list(runtime.slices[shard_index]),
+                checkpoint_path=self._checkpoint_path(job, shard_index),
+                checkpoint_every=job.checkpoint_every,
+                seed_subnets=self.store.snapshot(
+                    scope=job.scenario_fingerprint()),
+            )
+
+    def heartbeat(self, worker_id: str, job_id: str, shard_index: int,
+                  attempt: int) -> None:
+        """Refresh a lease (fenced; raises :class:`StaleLeaseError`)."""
+        with self._lock:
+            lease = self._check_lease(worker_id, job_id, shard_index,
+                                      attempt)
+            lease.last_heartbeat = self.clock()
+
+    def stream(self, worker_id: str, job_id: str, shard_index: int,
+               attempt: int, events: Sequence[Dict],
+               metrics: Optional[Dict] = None) -> None:
+        """Ingest a batch of streamed events (and a registry snapshot).
+
+        Events accumulate per shard; everything up to (and including) the
+        last :class:`CheckpointWritten` marker in the accumulated stream
+        commits immediately — the marker proves the corresponding results
+        are durable in the shard checkpoint, so a later crash cannot
+        invalidate them.  The tail past the last marker stays pending
+        until the shard completes (commit) or its lease expires (discard).
+        """
+        with self._lock:
+            lease = self._check_lease(worker_id, job_id, shard_index,
+                                      attempt)
+            lease.last_heartbeat = self.clock()
+            runtime = self._runtimes[job_id]
+            buffer = runtime.uncommitted.setdefault(shard_index, [])
+            buffer.extend(events)
+            if metrics is not None:
+                runtime.live_snapshots[shard_index] = metrics
+            cut = _last_checkpoint_marker(buffer)
+            if cut is not None:
+                runtime.commit(shard_index, buffer[:cut + 1])
+                del buffer[:cut + 1]
+
+    def complete(self, worker_id: str, job_id: str, shard_index: int,
+                 attempt: int, payload: Dict) -> None:
+        """Accept a finished shard's payload (fenced), maybe merge the job."""
+        with self._lock:
+            self._check_lease(worker_id, job_id, shard_index, attempt)
+            runtime = self._runtimes[job_id]
+            del runtime.leases[shard_index]
+            tail = runtime.uncommitted.pop(shard_index, [])
+            runtime.commit(shard_index, tail)
+            runtime.payloads[shard_index] = payload
+            runtime.outcomes[shard_index] = outcome_from_payload(
+                shard_index, runtime.slices[shard_index], payload,
+                attempt=attempt)
+            # Publish the shard's discoveries so later shards skip them.
+            self.store.publish_archive(
+                runtime.outcomes[shard_index].archive,
+                scope=runtime.job.scenario_fingerprint())
+            if not runtime.pending and not runtime.leases:
+                self._merge(runtime)
+
+    def fail(self, worker_id: str, job_id: str, shard_index: int,
+             attempt: int, error: str) -> None:
+        """A worker reports a shard exception: requeue or fail the job."""
+        with self._lock:
+            self._check_lease(worker_id, job_id, shard_index, attempt)
+            runtime = self._runtimes[job_id]
+            del runtime.leases[shard_index]
+            runtime.uncommitted.pop(shard_index, None)
+            self._requeue_or_fail(runtime, shard_index, error)
+
+    def reap(self, now: Optional[float] = None) -> List[ShardLease]:
+        """Expire leases with missed heartbeats; re-lease their shards.
+
+        Returns the expired leases.  Call this from the fleet loop (or a
+        monitor thread) at a cadence well below ``heartbeat_timeout``.
+        """
+        now = self.clock() if now is None else now
+        expired: List[ShardLease] = []
+        with self._lock:
+            for runtime in list(self._runtimes.values()):
+                if runtime.job.state is not JobState.RUNNING:
+                    continue
+                for shard_index, lease in list(runtime.leases.items()):
+                    if now - lease.last_heartbeat < self.heartbeat_timeout:
+                        continue
+                    expired.append(lease)
+                    del runtime.leases[shard_index]
+                    # Discard the attempt's uncommitted tail: its results
+                    # never reached a checkpoint, so the re-leased run
+                    # re-executes (and re-streams) those targets.
+                    runtime.uncommitted.pop(shard_index, None)
+                    self._requeue_or_fail(
+                        runtime, shard_index,
+                        f"worker {lease.worker_id!r} missed heartbeats "
+                        f"(attempt {lease.attempt})")
+        return expired
+
+    def abort_unfinished(self, reason: str) -> List[SurveyJob]:
+        """Fail every non-terminal job (fleet shutdown with work left)."""
+        aborted = []
+        with self._lock:
+            for job in self.queue.unfinished():
+                runtime = self._runtimes.get(job.job_id)
+                if runtime is not None:
+                    runtime.close()
+                self.queue.transition(job.job_id, JobState.FAILED,
+                                      error=reason)
+                aborted.append(job)
+        return aborted
+
+    # -- internals -------------------------------------------------------
+
+    def _next_pending_runtime(self) -> Optional[_JobRuntime]:
+        for job in self.queue.unfinished():
+            runtime = self._runtimes.get(job.job_id)
+            if runtime is not None and runtime.pending:
+                return runtime
+        for job in self.queue.queued():
+            return self._activate(job)
+        return None
+
+    def _activate(self, job: SurveyJob) -> _JobRuntime:
+        slices = shard_targets(job.targets, job.shards)
+        events_path = None
+        if self.work_dir is not None:
+            events_path = os.path.join(self.work_dir, job.job_id,
+                                       "events.jsonl")
+        runtime = _JobRuntime(job, slices, events_path)
+        self._runtimes[job.job_id] = runtime
+        self.queue.transition(job.job_id, JobState.RUNNING)
+        return runtime
+
+    def _checkpoint_path(self, job: SurveyJob,
+                         shard_index: int) -> Optional[str]:
+        directory = job.checkpoint_dir
+        if directory is None and self.work_dir is not None:
+            directory = os.path.join(self.work_dir, job.job_id, "shards")
+        if directory is None:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        return os.path.join(directory, f"shard-{shard_index}.json")
+
+    def _check_lease(self, worker_id: str, job_id: str, shard_index: int,
+                     attempt: int) -> ShardLease:
+        runtime = self._runtimes.get(job_id)
+        if runtime is not None and runtime.job.state is not JobState.RUNNING:
+            # The job left RUNNING (aborted/failed) — every lease is void.
+            runtime = None
+        lease = (runtime.leases.get(shard_index)
+                 if runtime is not None else None)
+        if (lease is None or lease.worker_id != worker_id
+                or lease.attempt != attempt):
+            raise StaleLeaseError(
+                f"worker {worker_id!r} no longer holds job {job_id} "
+                f"shard {shard_index} (attempt {attempt})")
+        return lease
+
+    def _requeue_or_fail(self, runtime: _JobRuntime, shard_index: int,
+                         error: str) -> None:
+        job = runtime.job
+        if runtime.attempts[shard_index] >= job.max_attempts:
+            checkpoint = self._checkpoint_path(job, shard_index)
+            targets = runtime.slices[shard_index]
+            runtime.close()
+            self.queue.transition(
+                job.job_id, JobState.FAILED,
+                error=(f"shard {shard_index} exhausted "
+                       f"{job.max_attempts} attempts over "
+                       f"{len(targets)} targets "
+                       f"(checkpoint {checkpoint}): {error}"))
+            return
+        runtime.pending.append(shard_index)
+
+    def _merge(self, runtime: _JobRuntime) -> None:
+        job = runtime.job
+        self.queue.transition(job.job_id, JobState.MERGING)
+        outcomes = [runtime.outcomes[index]
+                    for index in sorted(runtime.outcomes)]
+        archive, stats, _, stop_set = merge_outcomes(
+            job.spec.vantage, job.targets, outcomes)
+        runtime.close()
+        counts = dict(runtime.counter.counts)
+        self._results[job.job_id] = JobResult(
+            job=job,
+            archive=archive,
+            stats=stats,
+            metrics=runtime.registry,
+            stop_set=stop_set,
+            shards=outcomes,
+            attempts=dict(runtime.attempts),
+            event_counts=counts,
+            events_path=runtime.events_path,
+        )
+        self.queue.transition(job.job_id, JobState.DONE)
+
+
+def _last_checkpoint_marker(payloads: Sequence[Dict]) -> Optional[int]:
+    """Index of the last CheckpointWritten in a serialized event batch."""
+    marker = CheckpointWritten.__name__
+    for index in range(len(payloads) - 1, -1, -1):
+        if payloads[index].get("event") == marker:
+            return index
+    return None
+
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "JobResult",
+    "ShardLease",
+    "ShardTask",
+    "StaleLeaseError",
+]

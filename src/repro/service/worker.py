@@ -1,0 +1,251 @@
+"""Vantage workers: the probing half of the distributed survey service.
+
+A :class:`VantageWorker` is one measurement vantage in the fleet.  Its
+loop is deliberately dumb — everything stateful lives in the coordinator:
+
+1. ask the coordinator for a shard lease;
+2. rebuild the collector from the leased :class:`~repro.parallel.ShardSpec`
+   (transport construction stays behind the :class:`ProbeTransport` seam:
+   the worker never sees an Engine, only what ``spec.build_tool()``
+   returns, so a live-network worker would differ only in its spec);
+3. survey the shard through the ordinary checkpointing
+   :class:`~repro.runner.SurveyRunner` via
+   :func:`repro.parallel.run_shard`, streaming session events and
+   incremental registry snapshots back to the coordinator and
+   heartbeating on every completed target;
+4. deliver the shard payload; repeat until no work is left.
+
+Workers run as daemon threads under :class:`ServiceFleet`.  Threads (not
+processes) because the coordinator protocol is plain method calls and the
+deterministic simulator is pure Python — a socketed or multiprocess fleet
+would implement the same four coordinator calls over a wire; the lease
+fencing (:class:`~repro.service.coordinator.StaleLeaseError`) and the
+checkpoint-aligned commit protocol are designed for exactly that.
+
+Worker death is first-class: ``fail_after_targets`` makes a worker raise
+:class:`WorkerCrashed` mid-shard and die *silently* — no fail() call, no
+cleanup — which is how the tests and the CI smoke lane exercise the
+missed-heartbeat → re-lease → checkpoint-resume recovery path end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..events import CheckpointWritten, SessionEvent, SurveyProgressed, \
+    event_to_dict
+from ..metrics import MetricsRegistry, MetricsSink
+from ..parallel import run_shard
+from .coordinator import Coordinator, ShardTask, StaleLeaseError
+
+#: Flush the event stream to the coordinator at least this often.
+DEFAULT_STREAM_EVERY = 256
+
+
+class WorkerCrashed(RuntimeError):
+    """Injected worker death (simulates a killed vantage process)."""
+
+
+class StreamingEventSink:
+    """Buffers serialized session events; flushes batches to a callback.
+
+    The worker-side half of the streaming protocol.  Events are serialized
+    in emission order; the buffer flushes when it reaches ``every`` events
+    and, crucially, on every :class:`CheckpointWritten` — synchronously,
+    before the survey proceeds — so the coordinator's commit log always
+    holds the events backing any checkpoint that exists on disk.
+
+    The sink also maintains its own :class:`MetricsRegistry` fed through a
+    private :class:`MetricsSink`; each flush ships the registry's current
+    ``to_dict()`` as the incremental snapshot — a monotone, deterministic
+    view of the shard so far that the coordinator exposes for live
+    introspection (``tracenet jobs`` while a survey runs).
+    """
+
+    def __init__(self, flush: Callable[[List[Dict], Dict], None],
+                 every: int = DEFAULT_STREAM_EVERY):
+        if every < 1:
+            raise ValueError(f"flush cadence must be >= 1, got {every}")
+        self._flush = flush
+        self.every = every
+        self.buffer: List[Dict] = []
+        self.registry = MetricsRegistry()
+        self._metrics_sink = MetricsSink(self.registry)
+        self.flushes = 0
+
+    def __call__(self, event: SessionEvent) -> None:
+        self._metrics_sink(event)
+        self.buffer.append(event_to_dict(event))
+        if len(self.buffer) >= self.every or isinstance(event,
+                                                        CheckpointWritten):
+            self.flush()
+
+    def flush(self) -> None:
+        if not self.buffer:
+            return
+        batch, self.buffer = self.buffer, []
+        self.flushes += 1
+        self._flush(batch, self.registry.to_dict())
+
+
+class VantageWorker:
+    """One vantage point of the fleet: lease, survey, stream, repeat.
+
+    Args:
+        worker_id: stable identity used in leases and logs.
+        coordinator: the coordinator this worker serves.
+        poll_interval: idle sleep between lease attempts.
+        stream_every: event-stream flush cadence (checkpoints always
+            flush regardless).
+        fail_after_targets: when set, the worker raises
+            :class:`WorkerCrashed` after completing this many targets of
+            its current shard and dies without telling the coordinator —
+            fault-injection for the re-lease/resume path.
+    """
+
+    def __init__(self, worker_id: str, coordinator: Coordinator,
+                 poll_interval: float = 0.02,
+                 stream_every: int = DEFAULT_STREAM_EVERY,
+                 fail_after_targets: Optional[int] = None):
+        self.worker_id = worker_id
+        self.coordinator = coordinator
+        self.poll_interval = poll_interval
+        self.stream_every = stream_every
+        self.fail_after_targets = fail_after_targets
+        self.crashed = False
+        self.shards_completed = 0
+        self.shards_abandoned = 0
+
+    # -- the fleet loop --------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until every job is terminal (thread entry point)."""
+        while True:
+            if self.crashed:
+                return
+            task = self.coordinator.lease(self.worker_id)
+            if task is None:
+                if not self.coordinator.unfinished():
+                    return
+                time.sleep(self.poll_interval)
+                continue
+            try:
+                self._run_task(task)
+            except StaleLeaseError:
+                # The coordinator gave this shard away (we were presumed
+                # dead).  Abandon it: the new holder's results win.
+                self.shards_abandoned += 1
+                continue
+            except WorkerCrashed:
+                # Die silently, exactly like a killed process: no fail()
+                # report, the lease expires by missed heartbeats.
+                self.crashed = True
+                return
+
+    # -- one leased shard ------------------------------------------------
+
+    def _run_task(self, task: ShardTask) -> None:
+        stream = StreamingEventSink(
+            lambda events, metrics: self.coordinator.stream(
+                self.worker_id, task.job_id, task.shard_index,
+                task.attempt, events, metrics),
+            every=self.stream_every)
+        sinks = [stream, self._heartbeat_sink(task)]
+        if self.fail_after_targets is not None:
+            sinks.append(_CrashAfter(self.fail_after_targets))
+        try:
+            payload = run_shard(
+                task.spec, task.shard_index, task.targets,
+                task.checkpoint_path, task.checkpoint_every,
+                sinks=sinks,
+                seed_subnets=task.seed_subnets,
+                # Violations are judged once, centrally, over the job's
+                # committed event stream.
+                audit=False)
+        except (StaleLeaseError, WorkerCrashed):
+            raise
+        except Exception as exc:
+            self.coordinator.fail(self.worker_id, task.job_id,
+                                  task.shard_index, task.attempt,
+                                  f"{type(exc).__name__}: {exc}")
+            return
+        stream.flush()
+        self.coordinator.complete(self.worker_id, task.job_id,
+                                  task.shard_index, task.attempt, payload)
+        self.shards_completed += 1
+
+    def _heartbeat_sink(self, task: ShardTask):
+        def sink(event: SessionEvent) -> None:
+            if isinstance(event, (SurveyProgressed, CheckpointWritten)):
+                self.coordinator.heartbeat(self.worker_id, task.job_id,
+                                           task.shard_index, task.attempt)
+        return sink
+
+
+class _CrashAfter:
+    """Event sink that kills the worker after N completed targets."""
+
+    def __init__(self, targets: int):
+        self.targets = targets
+
+    def __call__(self, event: SessionEvent) -> None:
+        if isinstance(event, SurveyProgressed) and \
+                event.completed >= self.targets:
+            raise WorkerCrashed(
+                f"injected crash after {event.completed} targets")
+
+
+class ServiceFleet:
+    """Runs a coordinator and its vantage workers on local threads.
+
+    The fleet loop owns liveness: it reaps expired leases at a cadence
+    well below the coordinator's heartbeat timeout, aborts cleanly when
+    every worker has died with work remaining, and enforces a wall-clock
+    timeout so a wedged fleet cannot hang a service (or a CI lane)
+    forever.
+    """
+
+    def __init__(self, coordinator: Coordinator,
+                 workers: Sequence[VantageWorker]):
+        if not workers:
+            raise ValueError("a fleet needs at least one worker")
+        self.coordinator = coordinator
+        self.workers = list(workers)
+
+    def run(self, reap_interval: float = 0.05,
+            timeout: float = 300.0) -> None:
+        """Drive the fleet until every job reaches a terminal state."""
+        threads = [
+            threading.Thread(target=worker.run, daemon=True,
+                             name=f"vantage-{worker.worker_id}")
+            for worker in self.workers
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + timeout
+        try:
+            while self.coordinator.unfinished():
+                self.coordinator.reap()
+                if not any(thread.is_alive() for thread in threads):
+                    self.coordinator.abort_unfinished(
+                        "every worker exited with work remaining")
+                    break
+                if time.monotonic() > deadline:
+                    self.coordinator.abort_unfinished(
+                        f"fleet timed out after {timeout:.0f}s")
+                    break
+                time.sleep(reap_interval)
+        finally:
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+
+__all__ = [
+    "DEFAULT_STREAM_EVERY",
+    "ServiceFleet",
+    "StreamingEventSink",
+    "VantageWorker",
+    "WorkerCrashed",
+]

@@ -150,3 +150,84 @@ class TestMergeStats:
         assert total.sent == 8
         assert total.responses == 7
         assert total.by_phase == {"p": 3, "q": 4}
+
+
+class TestShardTargetsEdgeCases:
+    def test_empty_target_list_yields_one_empty_shard(self):
+        assert shard_targets([], 3) == [[]]
+
+    def test_duplicate_targets_preserved_in_order(self):
+        assert shard_targets([5, 5, 7, 5], 2) == [[5, 5], [7, 5]]
+
+    def test_shards_capped_at_target_count(self):
+        slices = shard_targets([1, 2, 3], 10)
+        assert slices == [[1], [2], [3]]
+
+
+class TestPoolFallback:
+    def test_pool_failure_degrades_to_inline(self, network, targets,
+                                             serial_archive, monkeypatch):
+        """A sandbox without process support must still finish the survey."""
+        import repro.parallel as parallel
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", broken_pool)
+        runner = ShardedSurveyRunner.from_network(
+            network.topology, network.policy, "utdallas", workers=2)
+        outcome = runner.run(targets)
+        assert outcome.executed_inline
+        assert outcome.workers == 2
+        assert archives_equivalent(serial_archive, outcome.archive)
+
+
+class TestShardFailureContext:
+    def test_shard_error_names_shard_slice_and_checkpoint(
+            self, network, targets, tmp_path, monkeypatch):
+        import repro.parallel as parallel
+        from repro.parallel import ShardExecutionError
+
+        def exploding_shard(spec, index, shard, checkpoint, every,
+                            **kwargs):
+            raise ValueError("collector blew up")
+
+        monkeypatch.setattr(parallel, "run_shard", exploding_shard)
+        runner = ShardedSurveyRunner.from_network(
+            network.topology, network.policy, "utdallas", workers=1,
+            checkpoint_dir=str(tmp_path / "ck"))
+        with pytest.raises(ShardExecutionError) as excinfo:
+            runner.run(targets[:4])
+        error = excinfo.value
+        assert error.shard_index == 0
+        assert error.targets == list(targets[:4])
+        assert error.checkpoint_path.endswith("shard-0.json")
+        assert isinstance(error.cause, ValueError)
+        message = str(error)
+        assert "shard 0" in message
+        assert "4 targets" in message
+        assert "shard-0.json" in message
+        assert "ValueError" in message
+
+
+class TestTypedStopSets:
+    def test_outcomes_carry_typed_stop_sets(self, network, targets):
+        from repro.probing import StopSet
+
+        runner = ShardedSurveyRunner.from_network(
+            network.topology, network.policy, "utdallas", workers=2,
+            use_stop_sets=True)
+        outcome = runner.run(targets)
+        assert isinstance(outcome.stop_set, StopSet)
+        for shard in outcome.shards:
+            assert isinstance(shard.stop_set, StopSet)
+        assert outcome.stop_set.recorded >= max(
+            shard.stop_set.recorded for shard in outcome.shards)
+
+    def test_outcomes_without_stop_sets_stay_none(self, network, targets):
+        runner = ShardedSurveyRunner.from_network(
+            network.topology, network.policy, "utdallas", workers=2)
+        outcome = runner.run(targets[:6])
+        assert outcome.stop_set is None
+        for shard in outcome.shards:
+            assert shard.stop_set is None
