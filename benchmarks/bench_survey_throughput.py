@@ -4,12 +4,23 @@ Tracks the perf trajectory of the collection pipeline on the Internet2
 topology in three groups of lanes:
 
 * **engine probe rate** — the same TTL-sweep probe workload pushed through
-  one engine three ways: per-probe ``send`` with the resolved-path cache
+  one engine four ways: per-probe ``send`` with the resolved-path cache
   off (every probe re-walks the routed path), per-probe ``send`` with the
-  cache on, and ``send_many`` batches over the cached engine.  The probe
-  objects are built once outside the timed region for every lane, so the
-  lanes compare dispatch cost, not packet allocation.  Gates: fastpath
-  >= 2x serial, batched >= 5x serial (full runs).
+  cache on, legacy ``send_many`` batches (``vector_path=False``), and
+  vectorized bulk ``send_many`` batches served from the packed-key flow
+  index.  The probe objects are built once outside the timed region for
+  every lane, so the lanes compare dispatch cost, not packet allocation.
+  Gates: fastpath >= 2x serial, batched >= 5x serial, bulk >= 1.5x
+  batched and >= 10x serial (full runs).
+* **counters-only overhead** — the same fastpath survey with no sinks
+  vs a single :class:`CounterSink` subscribed (every producer takes the
+  type-only ``tally`` path, no event objects constructed), interleaved
+  best-of-reps.  Gate: <= 0.25 overhead (full runs).
+* **scale lanes** — million-interface topologies from
+  ``topogen.isp.scale_profiles`` built and surveyed in subprocesses
+  (clean per-lane ``ru_maxrss``), recording build seconds, probes/sec,
+  BFS count, and peak RSS at each budget in ``SCALE_LANES``.  Full runs
+  only; ``--scale-smoke`` runs a 10^5-interface CI gate instead.
 * **survey rate** — full tracenet surveys (trace + positioning +
   exploration) serial with cache off/on, instrumented, batched
   (``batch_window=1``: every ladder probe rides the transport batch API
@@ -34,10 +45,13 @@ import gc
 import json
 import os
 import random
+import resource
+import subprocess
 import sys
 import time
 
 from repro.core import TraceNET
+from repro.events import CounterSink
 from repro.mapping.store import archive_to_dict
 from repro.metrics import MetricsRegistry
 from repro.netsim import Engine
@@ -46,32 +60,61 @@ from repro.parallel import ShardedSurveyRunner, archives_equivalent
 from repro.probing import StopSet
 from repro.runner import SurveyRunner
 from repro.topogen import internet2
+from repro.topogen.isp import build_internet, scale_profiles
 from repro.transport import collect_backend_metrics
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_survey_throughput.json")
+SCALE_SMOKE_PATH = os.path.join(REPO_ROOT, "BENCH_scale_smoke.json")
 
 SEED = 7
 TTL_SWEEP = 12  # TTLs probed per destination in the engine lane
-BATCH_CHUNK = 256  # probes per send_many dispatch in the batched lane
+# Probes per send_many dispatch in the batched engine lanes.  The
+# vectorized bulk path pays a fixed per-batch cost (array packing, one
+# index query) that it amortizes over the batch; 1024 is the large-survey
+# dispatch size it is designed for, where the amortization is complete.
+# The legacy per-probe loop is chunk-insensitive, so the comparison stays
+# fair at any chunk.
+BATCH_CHUNK = 1024
+# The engine sweeps finish in milliseconds on the faster lanes — too
+# short to time reliably.  Each timed rep repeats the sweep enough times
+# to stretch the region to tens of milliseconds; rates are normalized by
+# the actual probe count, so lanes with different loop counts compare
+# directly.
+LANE_LOOPS = {"serial": 1, "fastpath": 3, "batched": 8, "bulk": 8}
+SCALE_LANES = (100_000, 1_000_000)  # interface budgets, full runs only
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is reported in kilobytes on Linux and in bytes on macOS
+    — normalize so the persisted artifact is platform-independent.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return usage if sys.platform == "darwin" else usage * 1024
 
 
 def engine_probe_rates(network, targets, reps: int = 5) -> dict:
-    """Push a survey-shaped (dst, ttl) workload through three engines:
-    per-probe sends with the resolved-path cache off and on, and
-    ``send_many`` batches over a cached engine.
+    """Push a survey-shaped (dst, ttl) workload through four engines:
+    per-probe sends with the resolved-path cache off and on, legacy
+    ``send_many`` batches (``vector_path=False``), and vectorized bulk
+    ``send_many`` batches over the packed-key flow index.
 
-    The probe list is built once, outside every timed region — all three
+    The probe list is built once, outside every timed region — all four
     lanes dispatch the *same* prebuilt objects, so the comparison isolates
     engine dispatch cost.  One un-timed warmup pass per engine populates
     the lazily-built routing table and, on the cached engines, the path
-    memo.  The sweep is then timed ``reps`` times per engine with the
-    lanes *interleaved* — serial rep, fastpath rep, batched rep, serial
-    rep, ... — so a systematic slowdown mid-bench (CPU throttling, a noisy
-    neighbour) hits every lane equally instead of whichever ran last.
-    Each lane reports its fastest rep, the noise-robust steady-state
-    figure, exactly as ``timeit`` does; GC is paused inside the timed
-    regions for the same reason.
+    memo (and, on the bulk engine, the packed-key index).  The sweep is
+    then timed ``reps`` times per engine with the lanes *interleaved* —
+    serial rep, fastpath rep, batched rep, bulk rep, serial rep, ... — so
+    a systematic slowdown mid-bench (CPU throttling, a noisy neighbour)
+    hits every lane equally instead of whichever ran last.  The fast
+    lanes finish a single sweep in milliseconds, so each timed rep runs
+    the sweep ``LANE_LOOPS[lane]`` times and rates are normalized by the
+    probes actually sent.  Each lane reports its fastest rep, the
+    noise-robust steady-state figure, exactly as ``timeit`` does; GC is
+    paused inside the timed regions for the same reason.
     """
     from repro.netsim import EngineStats
 
@@ -84,33 +127,37 @@ def engine_probe_rates(network, targets, reps: int = 5) -> dict:
         "fastpath": Engine(network.topology, policy=network.policy,
                            path_cache=True),
         "batched": Engine(network.topology, policy=network.policy,
-                          path_cache=True),
+                          path_cache=True, vector_path=False),
+        "bulk": Engine(network.topology, policy=network.policy,
+                       path_cache=True),
     }
 
-    def sweep_serial(engine):
+    def sweep_serial(engine, loops):
         send = engine.send
-        for probe in probes:
-            send(probe)
+        for _ in range(loops):
+            for probe in probes:
+                send(probe)
 
-    def sweep_batched(engine):
+    def sweep_batched(engine, loops):
         send_many = engine.send_many
-        for start in range(0, len(probes), BATCH_CHUNK):
-            send_many(probes[start:start + BATCH_CHUNK])
+        for _ in range(loops):
+            for start in range(0, len(probes), BATCH_CHUNK):
+                send_many(probes[start:start + BATCH_CHUNK])
 
     sweeps = {"serial": sweep_serial, "fastpath": sweep_serial,
-              "batched": sweep_batched}
+              "batched": sweep_batched, "bulk": sweep_batched}
 
     rep_seconds = {lane: [] for lane in engines}
     gc_was_enabled = gc.isenabled()
     for lane, engine in engines.items():
-        sweeps[lane](engine)  # warmup: routing BFS + (when enabled) memo
+        sweeps[lane](engine, 1)  # warmup: routing BFS + (if enabled) memo
     for _ in range(reps):
         for lane, engine in engines.items():
             engine.stats = EngineStats()
             gc.collect()
             gc.disable()
             started = time.perf_counter()
-            sweeps[lane](engine)
+            sweeps[lane](engine, LANE_LOOPS[lane])
             rep_seconds[lane].append(time.perf_counter() - started)
             if gc_was_enabled:
                 gc.enable()
@@ -127,18 +174,23 @@ def engine_probe_rates(network, targets, reps: int = 5) -> dict:
             "path_cache_misses": engine.stats.path_cache_misses,
             "hit_rate": round(engine.stats.path_cache_hits / max(1, sent), 4),
         }
-        if lane == "batched":
+        if lane in ("batched", "bulk"):
             lanes[lane]["batches"] = engine.stats.batches
             lanes[lane]["batched_probes"] = engine.stats.batched_probes
             lanes[lane]["batch_chunk"] = BATCH_CHUNK
+        if lane == "bulk":
+            lanes[lane]["bulk_lookup_hits"] = engine.stats.bulk_lookup_hits
+            lanes[lane]["bulk_lookup_misses"] = (
+                engine.stats.bulk_lookup_misses)
     return lanes
 
 
 def serial_survey(network, targets, path_cache: bool, metrics=None,
-                  batch_window: int = 0, stop_set=None):
+                  batch_window: int = 0, stop_set=None,
+                  vantage: str = "utdallas"):
     engine = Engine(network.topology, policy=network.policy,
                     path_cache=path_cache)
-    tool = TraceNET(engine, "utdallas", batch_window=batch_window,
+    tool = TraceNET(engine, vantage, batch_window=batch_window,
                     stop_set=stop_set)
     runner = SurveyRunner(tool, metrics=metrics)
     started = time.perf_counter()
@@ -211,6 +263,176 @@ def archive_bytes(archive) -> str:
     return json.dumps(archive_to_dict(archive), sort_keys=True)
 
 
+def counters_overhead(network, targets, reps: int = 3) -> dict:
+    """Measured cost of counter-only event subscription.
+
+    Runs the same fastpath survey with no sinks attached and with a
+    single :class:`CounterSink` subscribed.  The sink declares payload
+    interest only in ``HeuristicFired``, so every hot-path producer takes
+    the bus's type-only ``tally`` branch and never constructs an event
+    object — what this lane measures is the dispatch-mask bookkeeping
+    itself.
+
+    The two arms are *interleaved* ``reps`` times and each reports its
+    fastest rep before the overhead ratio is taken.  That is essential on
+    a shared box: a single plain/counters pair can swing ±30% with noise,
+    dwarfing the few-percent signal, while best-of-reps converges on the
+    steady-state rate for both arms.
+    """
+    def one_survey(with_sink: bool):
+        engine = Engine(network.topology, policy=network.policy,
+                        path_cache=True)
+        tool = TraceNET(engine, "utdallas")
+        sink = CounterSink() if with_sink else None
+        if sink is not None:
+            tool.events.subscribe(sink)
+        runner = SurveyRunner(tool)
+        gc.collect()
+        gc.disable()
+        started = time.perf_counter()
+        runner.run(targets)
+        elapsed = time.perf_counter() - started
+        gc.enable()
+        return tool.prober.stats.sent / elapsed, sink
+
+    plain_rates, counter_rates = [], []
+    counts = {}
+    for _ in range(reps):
+        rate, _ = one_survey(with_sink=False)
+        plain_rates.append(rate)
+        rate, sink = one_survey(with_sink=True)
+        counter_rates.append(rate)
+        counts = dict(sink.counts)  # identical across reps
+    overhead = 1 - max(counter_rates) / max(plain_rates)
+    return {
+        "reps": reps,
+        "plain_probes_per_sec": [round(r, 1) for r in plain_rates],
+        "counter_probes_per_sec": [round(r, 1) for r in counter_rates],
+        "best_plain": round(max(plain_rates), 1),
+        "best_counters": round(max(counter_rates), 1),
+        "overhead": round(overhead, 4),
+        "event_counts": counts,
+    }
+
+
+def scale_lane(interfaces: int, target_count: int = 50,
+               seed: int = SEED) -> dict:
+    """Build an ``interfaces``-budget internet and survey 50 targets.
+
+    Exercises the scale path end to end: array-backed topology
+    construction (``validate=False`` skips the O(interfaces) flood fill —
+    the same profiles are validated once by the scale smoke), the
+    interned lazy routing table (one BFS per destination subnet,
+    LRU-bounded), and the exact batched collection pipeline.  Reports
+    build and survey wall clock, probes/sec, BFS count, and the process
+    peak RSS.
+    """
+    build_started = time.perf_counter()
+    network = build_internet(seed=seed, profiles=scale_profiles(interfaces),
+                             validate=False)
+    build_seconds = time.perf_counter() - build_started
+    topology = network.topology
+    built = sum(len(subnet.addresses) for subnet in topology.subnets.values())
+    grouped = network.targets_proportional(seed=seed, total=target_count)
+    targets = sorted(address for addresses in grouped.values()
+                     for address in addresses)[:target_count]
+    vantage = sorted(network.vantages)[0]
+    engine = Engine(topology, policy=network.policy, path_cache=True)
+    tool = TraceNET(engine, vantage, batch_window=1)
+    runner = SurveyRunner(tool)
+    survey_started = time.perf_counter()
+    runner.run(targets)
+    survey_seconds = time.perf_counter() - survey_started
+    sent = tool.prober.stats.sent
+    return {
+        "interfaces_requested": interfaces,
+        "interfaces_built": built,
+        "routers": len(topology.routers),
+        "subnets": len(topology.subnets),
+        "targets": len(targets),
+        "build_seconds": round(build_seconds, 2),
+        "survey_seconds": round(survey_seconds, 2),
+        "probes": sent,
+        "probes_per_sec": round(sent / max(1e-9, survey_seconds), 1),
+        "subnets_collected": len(runner.archive.subnets),
+        "bfs_runs": engine.routing.bfs_runs,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def scale_lane_subprocess(interfaces: int) -> dict:
+    """Run :func:`scale_lane` in a child interpreter and parse its JSON.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark: after the 10^6
+    build, the parent's peak would contaminate every smaller lane.  Each
+    scale lane therefore gets its own process and reports on stdout.
+    """
+    env = dict(os.environ)
+    src_path = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_path if not existing
+                         else src_path + os.pathsep + existing)
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--scale-lane", str(interfaces)],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scale lane {interfaces} failed:\n{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def scale_smoke(interfaces: int = 100_000, target_count: int = 50,
+                seed: int = SEED) -> dict:
+    """CI-sized scale gate: 10^5-interface build, equivalence-checked survey.
+
+    Builds the smaller scale profile (structural validation *on* — this is
+    the lane that proves the generated topology is well-formed), surveys
+    the same 50 targets serially and through the exact batched pipeline
+    (window=1, metrics registry + probe-economy auditor attached), and
+    asserts the two archives serialize to the same bytes with a clean
+    auditor.  The result lands in ``BENCH_scale_smoke.json`` for CI to
+    archive.
+    """
+    build_started = time.perf_counter()
+    network = build_internet(seed=seed, profiles=scale_profiles(interfaces))
+    build_seconds = time.perf_counter() - build_started
+    grouped = network.targets_proportional(seed=seed, total=target_count)
+    targets = sorted(address for addresses in grouped.values()
+                     for address in addresses)[:target_count]
+    vantage = sorted(network.vantages)[0]
+    serial_lane, serial_archive = serial_survey(
+        network, targets, path_cache=True, vantage=vantage)
+    registry = MetricsRegistry()
+    batched_lane, batched_archive = serial_survey(
+        network, targets, path_cache=True, metrics=registry,
+        batch_window=1, vantage=vantage)
+    result = {
+        "bench": "scale_smoke",
+        "seed": seed,
+        "interfaces_requested": interfaces,
+        "routers": len(network.topology.routers),
+        "subnets": len(network.topology.subnets),
+        "build_seconds": round(build_seconds, 2),
+        "targets": len(targets),
+        "survey": {"serial": serial_lane, "batched": batched_lane},
+        "batched_equals_serial_bytes": (archive_bytes(serial_archive)
+                                        == archive_bytes(batched_archive)),
+        "overhead_violations": registry.value("overhead_violations_total"),
+        "engine_bulk_lookup_hits": registry.backend.value(
+            "engine_bulk_lookup_hits"),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    with open(SCALE_SMOKE_PATH, "w") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    assert result["batched_equals_serial_bytes"], (
+        "scale smoke: batched archive is not byte-identical to serial")
+    assert result["overhead_violations"] == 0, (
+        "scale smoke: the probe-economy auditor flagged the batched survey")
+    return result
+
+
 def run(smoke: bool = False, workers: int = 2) -> dict:
     network = internet2.build(seed=SEED)
     if smoke:
@@ -223,6 +445,8 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
     engine_serial = engine_lanes["serial"]
     engine_fast = engine_lanes["fastpath"]
     engine_batched = engine_lanes["batched"]
+    engine_bulk = engine_lanes["bulk"]
+    counters = counters_overhead(network, targets)
     survey_slow, _ = serial_survey(network, targets, path_cache=False)
     survey_fast, serial_archive = serial_survey(network, targets,
                                                 path_cache=True)
@@ -260,6 +484,10 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
                / max(1e-9, engine_serial["probes_per_sec"]))
     batched_speedup = (engine_batched["probes_per_sec"]
                        / max(1e-9, engine_serial["probes_per_sec"]))
+    bulk_speedup = (engine_bulk["probes_per_sec"]
+                    / max(1e-9, engine_serial["probes_per_sec"]))
+    bulk_over_batched = (engine_bulk["probes_per_sec"]
+                         / max(1e-9, engine_batched["probes_per_sec"]))
     result = {
         "bench": "survey_throughput",
         "topology": "internet2",
@@ -271,13 +499,20 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
             "serial": engine_serial["probes_per_sec"],
             "fastpath": engine_fast["probes_per_sec"],
             "batched": engine_batched["probes_per_sec"],
+            "bulk": engine_bulk["probes_per_sec"],
             "parallel": survey_parallel["cold_probes_per_sec"],
             "parallel_warm": survey_parallel["warm_probes_per_sec"],
         },
         "fastpath_speedup": round(speedup, 2),
         "batched_speedup": round(batched_speedup, 2),
+        "bulk_speedup": round(bulk_speedup, 2),
+        "bulk_over_batched": round(bulk_over_batched, 2),
         "engine": {"serial": engine_serial, "fastpath": engine_fast,
-                   "batched": engine_batched},
+                   "batched": engine_batched, "bulk": engine_bulk},
+        "counters_only": counters,
+        # Fractional rate cost when only counter sinks are subscribed:
+        # every producer takes the type-only tally path.
+        "counters_only_overhead": counters["overhead"],
         "survey": {
             "serial": survey_slow,
             "fastpath": survey_fast,
@@ -303,6 +538,11 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
         "metrics": registry.full_snapshot(),
         "overhead_violations": registry.value("overhead_violations_total"),
     }
+    if not smoke:
+        # Scale lanes are isolated in child interpreters so each reports
+        # its own peak RSS; see scale_lane_subprocess.
+        result["scale"] = {str(budget): scale_lane_subprocess(budget)
+                           for budget in SCALE_LANES}
     return result
 
 
@@ -339,11 +579,33 @@ def check(result: dict, smoke: bool) -> None:
     assert result["batched_speedup"] > 1.0, (
         f"send_many is not faster than per-probe send "
         f"({result['batched_speedup']}x)")
+    bulk = result["engine"]["bulk"]
+    assert bulk["batches"] > 0, (
+        "bulk lane never dispatched through send_many")
+    assert (bulk["bulk_lookup_hits"] + bulk["bulk_lookup_misses"]
+            == bulk["batched_probes"]), (
+        "bulk-lookup counters do not reconcile: "
+        f"{bulk['bulk_lookup_hits']} hits + {bulk['bulk_lookup_misses']} "
+        f"misses != {bulk['batched_probes']} batched probes")
     if not smoke:
         assert result["fastpath_speedup"] >= 2.0, (
             f"fast path is only {result['fastpath_speedup']}x serial")
         assert result["batched_speedup"] >= 5.0, (
             f"batched dispatch is only {result['batched_speedup']}x serial")
+        assert result["bulk_over_batched"] >= 1.5, (
+            f"bulk dispatch is only {result['bulk_over_batched']}x the "
+            f"legacy batched lane")
+        assert result["bulk_speedup"] >= 10.0, (
+            f"bulk dispatch is only {result['bulk_speedup']}x cache-off "
+            f"serial")
+        assert result["counters_only_overhead"] <= 0.25, (
+            f"counter-only instrumentation costs "
+            f"{result['counters_only_overhead']:.1%} of survey rate")
+        for budget, lane in result["scale"].items():
+            assert lane["probes"] > 0 and lane["subnets_collected"] > 0, (
+                f"scale lane {budget} collected nothing")
+            assert lane["peak_rss_bytes"] > 0, (
+                f"scale lane {budget} reported no peak RSS")
 
 
 def test_survey_throughput():
@@ -358,7 +620,27 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny target set (CI)")
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--scale-lane", type=int, default=None, metavar="N",
+                        help="run one N-interface scale lane, print JSON "
+                             "(used by the parent bench via subprocess)")
+    parser.add_argument("--scale-smoke", action="store_true",
+                        help="10^5-interface CI gate; writes "
+                             "BENCH_scale_smoke.json")
     args = parser.parse_args(argv)
+    if args.scale_lane:
+        print(json.dumps(scale_lane(args.scale_lane), sort_keys=True))
+        return 0
+    if args.scale_smoke:
+        result = scale_smoke()
+        print(f"scale smoke: {result['interfaces_requested']} interfaces, "
+              f"{result['routers']} routers built in "
+              f"{result['build_seconds']}s; batched survey sent "
+              f"{result['survey']['batched']['probes']} probes "
+              f"(archive bytes equal: "
+              f"{result['batched_equals_serial_bytes']}, "
+              f"auditor violations: {result['overhead_violations']})")
+        print(f"wrote {SCALE_SMOKE_PATH}")
+        return 0
     result = run(smoke=args.smoke, workers=args.workers)
     path = write_result(result)
     check(result, smoke=args.smoke)
@@ -368,7 +650,10 @@ def main(argv=None) -> int:
           f"-> fastpath {rates['fastpath']:.0f} "
           f"({result['fastpath_speedup']}x) "
           f"-> batched {rates['batched']:.0f} "
-          f"({result['batched_speedup']}x)")
+          f"({result['batched_speedup']}x) "
+          f"-> bulk {rates['bulk']:.0f} "
+          f"({result['bulk_speedup']}x serial, "
+          f"{result['bulk_over_batched']}x batched)")
     print(f"survey probes/sec: serial "
           f"{result['survey']['serial']['probes_per_sec']:.0f} "
           f"-> fastpath {result['survey']['fastpath']['probes_per_sec']:.0f} "
@@ -386,6 +671,16 @@ def main(argv=None) -> int:
           f"{result['survey']['instrumented']['probes_per_sec']:.0f} "
           f"probes/sec ({result['instrumentation_overhead']:.1%} metrics "
           f"overhead), {result['overhead_violations']} auditor violations")
+    print(f"counters-only overhead: "
+          f"{result['counters_only_overhead']:.1%} "
+          f"(best-of-{result['counters_only']['reps']} interleaved)")
+    for budget, lane in sorted(result.get("scale", {}).items(),
+                               key=lambda item: int(item[0])):
+        print(f"scale {budget}: {lane['interfaces_built']} interfaces "
+              f"built in {lane['build_seconds']}s, survey "
+              f"{lane['probes_per_sec']:.0f} probes/sec "
+              f"({lane['bfs_runs']} BFS, "
+              f"{lane['peak_rss_bytes'] / 2**30:.2f} GiB peak RSS)")
     print(f"wrote {path}")
     return 0
 

@@ -72,13 +72,17 @@ def collect_hop(prober: Prober, destination: int, ttl: int,
     response = prober.indirect_probe(destination, ttl, phase=PHASE_TRACE,
                                      flow_id=flow_id)
     observation = classify_response(ttl, response)
-    if prober.events:
-        prober.events.emit(HopObserved(
-            destination=destination,
-            ttl=ttl,
-            kind=observation.kind.value,
-            address=observation.address,
-        ))
+    events = prober.events
+    if events:
+        if events.wants(HopObserved):
+            events.emit(HopObserved(
+                destination=destination,
+                ttl=ttl,
+                kind=observation.kind.value,
+                address=observation.address,
+            ))
+        else:
+            events.tally(HopObserved)
     return observation
 
 
@@ -168,20 +172,27 @@ class HopPipeline:
             prober.stats.record_suppressed()
             if self.stop_set is not None:
                 self.stop_set.suppressed += 1
-            if prober.events:
-                prober.events.emit(ProbeSuppressed(
-                    destination=self.destination,
-                    ttl=ttl,
-                    phase=PHASE_TRACE,
-                    reason="stop-set",
-                    address=served.address,
-                ))
-                prober.events.emit(HopObserved(
-                    destination=self.destination,
-                    ttl=ttl,
-                    kind=served.kind.value,
-                    address=served.address,
-                ))
+            events = prober.events
+            if events:
+                if events.wants(ProbeSuppressed):
+                    events.emit(ProbeSuppressed(
+                        destination=self.destination,
+                        ttl=ttl,
+                        phase=PHASE_TRACE,
+                        reason="stop-set",
+                        address=served.address,
+                    ))
+                else:
+                    events.tally(ProbeSuppressed)
+                if events.wants(HopObserved):
+                    events.emit(HopObserved(
+                        destination=self.destination,
+                        ttl=ttl,
+                        kind=served.kind.value,
+                        address=served.address,
+                    ))
+                else:
+                    events.tally(HopObserved)
             return served
         buffered = self._buffer.pop(ttl, None)
         if buffered is None:
@@ -193,11 +204,15 @@ class HopPipeline:
             for t, response in zip(ttls, responses):
                 self._buffer[t] = classify_response(t, response)
             buffered = self._buffer.pop(ttl)
-        if self.prober.events:
-            self.prober.events.emit(HopObserved(
-                destination=self.destination,
-                ttl=ttl,
-                kind=buffered.kind.value,
-                address=buffered.address,
-            ))
+        events = self.prober.events
+        if events:
+            if events.wants(HopObserved):
+                events.emit(HopObserved(
+                    destination=self.destination,
+                    ttl=ttl,
+                    kind=buffered.kind.value,
+                    address=buffered.address,
+                ))
+            else:
+                events.tally(HopObserved)
         return buffered

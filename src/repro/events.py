@@ -265,10 +265,35 @@ class EventBus:
 
         if bus:
             bus.emit(ProbeSent(...))
+
+    Two optional sink attributes refine dispatch beyond that all-or-nothing
+    guard:
+
+    * ``interests`` — a collection of event classes the sink needs *full
+      payloads* for (absent or None means every event, the legacy
+      contract).  The bus precomputes a per-event-type dispatch tuple from
+      them, so a :class:`ProgressSink` never sees a :class:`ProbeSent`.
+    * ``tally(cls, count)`` — a method counting sinks expose to receive
+      type-only tallies for events outside their ``interests``.  The bus
+      routes every :meth:`emit` to it automatically; hot producers can ask
+      :meth:`wants` first and call :meth:`tally` themselves, skipping event
+      construction entirely when nobody needs the payload::
+
+          if bus.wants(ProbeSent):
+              bus.emit(ProbeSent(...))
+          else:
+              bus.tally(ProbeSent)
+
+    With only counter sinks subscribed that path costs two dict probes and
+    one integer add per event — the "zero-cost emission" contract the
+    instrumentation-overhead bench lane gates on.
     """
 
     def __init__(self) -> None:
         self._sinks: List[Sink] = []
+        # type -> (payload sinks, counting sinks tallying this type).
+        self._dispatch: Dict[Type[SessionEvent],
+                             Tuple[Tuple[Sink, ...], Tuple[Sink, ...]]] = {}
 
     def __bool__(self) -> bool:
         return bool(self._sinks)
@@ -276,6 +301,7 @@ class EventBus:
     def subscribe(self, sink: Sink) -> Sink:
         """Attach a sink; returns it so callers can unsubscribe later."""
         self._sinks.append(sink)
+        self._dispatch.clear()
         return sink
 
     def unsubscribe(self, sink: Sink) -> None:
@@ -284,6 +310,8 @@ class EventBus:
             self._sinks.remove(sink)
         except ValueError:
             pass
+        else:
+            self._dispatch.clear()
 
     @contextmanager
     def subscribed(self, sink: Sink):
@@ -294,16 +322,65 @@ class EventBus:
         finally:
             self.unsubscribe(sink)
 
+    def _build_dispatch(self, cls: Type[SessionEvent]
+                        ) -> Tuple[Tuple[Sink, ...], Tuple[Sink, ...]]:
+        payload: List[Sink] = []
+        tallies: List[Sink] = []
+        for sink in self._sinks:
+            interests = getattr(sink, "interests", None)
+            if interests is None or any(
+                    issubclass(cls, wanted) for wanted in interests):
+                payload.append(sink)
+            elif hasattr(sink, "tally"):
+                tallies.append(sink)
+        entry = (tuple(payload), tuple(tallies))
+        self._dispatch[cls] = entry
+        return entry
+
+    def wants(self, cls: Type[SessionEvent]) -> bool:
+        """Whether any attached sink needs full ``cls`` payloads.
+
+        False means :meth:`emit` would only tally the type — producers may
+        call :meth:`tally` directly and skip constructing the event.
+        """
+        entry = self._dispatch.get(cls)
+        if entry is None:
+            entry = self._build_dispatch(cls)
+        return bool(entry[0])
+
+    def tally(self, cls: Type[SessionEvent], count: int = 1) -> None:
+        """Deliver a type-only count to the counting sinks (no payload)."""
+        entry = self._dispatch.get(cls)
+        if entry is None:
+            entry = self._build_dispatch(cls)
+        for sink in entry[1]:
+            sink.tally(cls, count)
+
     def emit(self, event: SessionEvent) -> None:
-        for sink in tuple(self._sinks):
+        cls = event.__class__
+        entry = self._dispatch.get(cls)
+        if entry is None:
+            entry = self._build_dispatch(cls)
+        payload, tallies = entry
+        for sink in payload:
             sink(event)
+        for sink in tallies:
+            sink.tally(cls, 1)
 
 
 # -- sinks --------------------------------------------------------------------
 
 
 class CounterSink:
-    """In-memory metrics: events tallied by type (and heuristic rule)."""
+    """In-memory metrics: events tallied by type (and heuristic rule).
+
+    Declares payload interest only in :class:`HeuristicFired` (the one type
+    whose *fields* it reads); every other event reaches it through the
+    bus's type-only :meth:`tally` path, so a run instrumented with nothing
+    but counter sinks never constructs the hot-path events at all.
+    """
+
+    interests = (HeuristicFired,)
 
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {}
@@ -314,6 +391,10 @@ class CounterSink:
         self.counts[name] = self.counts.get(name, 0) + 1
         if isinstance(event, HeuristicFired):
             self.rules[event.rule] = self.rules.get(event.rule, 0) + 1
+
+    def tally(self, cls: Type[SessionEvent], count: int = 1) -> None:
+        name = cls.__name__
+        self.counts[name] = self.counts.get(name, 0) + count
 
     @property
     def total(self) -> int:
@@ -331,6 +412,9 @@ class CollectingSink:
 
     def __init__(self, *types: Type[SessionEvent]) -> None:
         self.types: Optional[Tuple[Type[SessionEvent], ...]] = types or None
+        # Mirror the filter as dispatch-mask interests: the bus then never
+        # routes other event types here in the first place.
+        self.interests = self.types
         self.events: List[SessionEvent] = []
 
     def __call__(self, event: SessionEvent) -> None:
@@ -369,6 +453,8 @@ class JsonlEventSink:
 
 class ProgressSink:
     """Renders :class:`SurveyProgressed` events as a one-line progress bar."""
+
+    interests = (SurveyProgressed,)
 
     def __init__(self, stream: Optional[IO] = None, width: int = 30) -> None:
         self.stream = stream if stream is not None else sys.stderr

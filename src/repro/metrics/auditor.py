@@ -49,6 +49,10 @@ class ProbeEconomyAuditor:
             violation; 1.0 audits the literal analytic bound.
     """
 
+    #: Dispatch-mask hint: the bus only routes subnet completions here, so
+    #: an attached auditor adds zero cost to the per-probe event stream.
+    interests = (SubnetGrown,)
+
     def __init__(self, bus: EventBus, slack: float = DEFAULT_SLACK):
         if slack <= 0:
             raise ValueError(f"slack must be positive, got {slack}")

@@ -79,76 +79,153 @@ _HELP = {
 
 
 class MetricsSink:
-    """Feeds a :class:`MetricsRegistry` from the session-event stream."""
+    """Feeds a :class:`MetricsRegistry` from the session-event stream.
+
+    Dispatch is a per-type handler table instead of an isinstance chain,
+    and the hot-path handlers hold their metric objects directly (the
+    registry returns the same object for the same name + labels, so this
+    is pure lookup elision — snapshots are unchanged).
+    """
 
     def __init__(self, registry: MetricsRegistry):
         self.registry = registry
         for name, text in _HELP.items():
             registry.describe(name, text)
+        # Label-free metrics the per-probe handlers touch, resolved once.
+        self._probes_sent = registry.counter("probes_sent_total")
+        self._responses = registry.counter("probe_responses_total")
+        self._silent = registry.counter("probe_silent_total")
+        self._cache_hits = registry.counter("probe_cache_hits_total")
+        self._batches = registry.counter("probe_batches_total")
+        self._ttl_hist = registry.histogram("probe_ttl", buckets=TTL_BUCKETS)
+        self._batch_hist = registry.histogram("probe_batch_size",
+                                              buckets=BATCH_SIZE_BUCKETS)
+        # Labelled counters the per-probe handlers touch, cached by value.
+        self._proto_counters: dict = {}
+        self._phase_counters: dict = {}
+        self._kind_counters: dict = {}
+        self._handlers = {
+            ProbeSent: self._on_probe_sent,
+            CacheHit: self._on_cache_hit,
+            ProbeSuppressed: self._on_probe_suppressed,
+            ProbeBatchSent: self._on_probe_batch,
+            HopObserved: self._on_hop_observed,
+            SubnetPositioned: self._on_subnet_positioned,
+            HeuristicFired: self._on_heuristic_fired,
+            SubnetShrunk: self._on_subnet_shrunk,
+            SubnetGrown: self._on_subnet_grown,
+            OverheadViolation: self._on_overhead_violation,
+            TraceStarted: self._on_trace_started,
+            TraceFinished: self._on_trace_finished,
+            CheckpointWritten: self._on_checkpoint,
+            SurveyProgressed: self._on_survey_progressed,
+        }
 
     def __call__(self, event: SessionEvent) -> None:
+        handler = self._handlers.get(event.__class__)
+        if handler is None:
+            # Unknown concrete type: honour subclassing once, then memoize
+            # (None for types this sink does not consume).
+            for base in type(event).__mro__:
+                handler = self._handlers.get(base)
+                if handler is not None:
+                    break
+            self._handlers[event.__class__] = handler
+            if handler is None:
+                return
+        handler(event)
+
+    # -- per-type handlers --------------------------------------------------
+
+    def _on_probe_sent(self, event: ProbeSent) -> None:
+        self._probes_sent.inc()
+        proto = self._proto_counters.get(event.protocol)
+        if proto is None:
+            proto = self._proto_counters[event.protocol] = (
+                self.registry.counter("probe_protocol_total",
+                                      protocol=event.protocol))
+        proto.inc()
+        if event.phase is not None:
+            phase = self._phase_counters.get(event.phase)
+            if phase is None:
+                phase = self._phase_counters[event.phase] = (
+                    self.registry.counter("probe_phase_total",
+                                          phase=event.phase))
+            phase.inc()
+        if event.answered:
+            self._responses.inc()
+            if event.response_kind is not None:
+                kind = self._kind_counters.get(event.response_kind)
+                if kind is None:
+                    kind = self._kind_counters[event.response_kind] = (
+                        self.registry.counter("probe_response_kind_total",
+                                              kind=event.response_kind))
+                kind.inc()
+        else:
+            self._silent.inc()
+        self._ttl_hist.observe(event.ttl)
+
+    def _on_cache_hit(self, event: CacheHit) -> None:
+        self._cache_hits.inc()
+
+    def _on_probe_suppressed(self, event: ProbeSuppressed) -> None:
+        self.registry.inc("probes_suppressed_total", reason=event.reason)
+
+    def _on_probe_batch(self, event: ProbeBatchSent) -> None:
+        self._batches.inc()
+        self._batch_hist.observe(event.size)
+
+    def _on_hop_observed(self, event: HopObserved) -> None:
+        self.registry.inc("hops_observed_total", kind=event.kind)
+
+    def _on_subnet_positioned(self, event: SubnetPositioned) -> None:
+        outcome = "positioned" if event.positioned else "unpositioned"
+        self.registry.inc("subnet_positionings_total", outcome=outcome)
+
+    def _on_heuristic_fired(self, event: HeuristicFired) -> None:
+        self.registry.inc("heuristic_fired_total", rule=event.rule)
+        self.registry.inc("heuristic_verdict_total", verdict=event.verdict)
+
+    def _on_subnet_shrunk(self, event: SubnetShrunk) -> None:
+        self.registry.inc("subnet_shrunk_total", rule=event.rule)
+
+    def _on_subnet_grown(self, event: SubnetGrown) -> None:
         registry = self.registry
-        if isinstance(event, ProbeSent):
-            registry.inc("probes_sent_total")
-            registry.inc("probe_protocol_total", protocol=event.protocol)
-            if event.phase is not None:
-                registry.inc("probe_phase_total", phase=event.phase)
-            if event.answered:
-                registry.inc("probe_responses_total")
-                if event.response_kind is not None:
-                    registry.inc("probe_response_kind_total",
-                                 kind=event.response_kind)
-            else:
-                registry.inc("probe_silent_total")
-            registry.observe("probe_ttl", event.ttl, buckets=TTL_BUCKETS)
-        elif isinstance(event, CacheHit):
-            registry.inc("probe_cache_hits_total")
-        elif isinstance(event, ProbeSuppressed):
-            registry.inc("probes_suppressed_total", reason=event.reason)
-        elif isinstance(event, ProbeBatchSent):
-            registry.inc("probe_batches_total")
-            registry.observe("probe_batch_size", event.size,
-                             buckets=BATCH_SIZE_BUCKETS)
-        elif isinstance(event, HopObserved):
-            registry.inc("hops_observed_total", kind=event.kind)
-        elif isinstance(event, SubnetPositioned):
-            outcome = "positioned" if event.positioned else "unpositioned"
-            registry.inc("subnet_positionings_total", outcome=outcome)
-        elif isinstance(event, HeuristicFired):
-            registry.inc("heuristic_fired_total", rule=event.rule)
-            registry.inc("heuristic_verdict_total", verdict=event.verdict)
-        elif isinstance(event, SubnetShrunk):
-            registry.inc("subnet_shrunk_total", rule=event.rule)
-        elif isinstance(event, SubnetGrown):
-            registry.inc("subnets_grown_total")
-            registry.inc("subnet_stop_total", reason=event.stop_reason)
-            registry.inc("overhead_checks_total")
-            registry.observe("subnet_size", event.size,
-                             buckets=SUBNET_SIZE_BUCKETS)
-            registry.observe("subnet_probes_used", event.probes_used,
-                             buckets=SUBNET_PROBE_BUCKETS)
-            for phase, count in (event.phase_probes or {}).items():
-                registry.inc("subnet_phase_probes_total", count, phase=phase)
-        elif isinstance(event, OverheadViolation):
-            registry.inc("overhead_violations_total")
-            registry.inc("overhead_violation_probes_total", event.probes_used)
-        elif isinstance(event, TraceStarted):
-            registry.inc("traces_started_total")
-        elif isinstance(event, TraceFinished):
-            registry.inc("traces_finished_total")
-            if event.reached:
-                registry.inc("traces_reached_total")
-            registry.inc("trace_cache_hits_total", event.cache_hits)
-            registry.observe("trace_hops", event.hops,
-                             buckets=TRACE_HOP_BUCKETS)
-            registry.observe("trace_probes", event.probes_sent,
-                             buckets=TRACE_PROBE_BUCKETS)
-        elif isinstance(event, CheckpointWritten):
-            registry.inc("checkpoints_written_total")
-        elif isinstance(event, SurveyProgressed):
-            registry.inc("survey_progress_events_total")
-            registry.set_gauge("survey_targets", event.total_targets)
-            registry.set_gauge("survey_completed", event.completed)
-            registry.set_gauge("survey_skipped", event.skipped)
-            registry.set_gauge("survey_reached", event.reached)
-            registry.set_gauge("survey_probes_sent", event.probes_sent)
+        registry.inc("subnets_grown_total")
+        registry.inc("subnet_stop_total", reason=event.stop_reason)
+        registry.inc("overhead_checks_total")
+        registry.observe("subnet_size", event.size,
+                         buckets=SUBNET_SIZE_BUCKETS)
+        registry.observe("subnet_probes_used", event.probes_used,
+                         buckets=SUBNET_PROBE_BUCKETS)
+        for phase, count in (event.phase_probes or {}).items():
+            registry.inc("subnet_phase_probes_total", count, phase=phase)
+
+    def _on_overhead_violation(self, event: OverheadViolation) -> None:
+        self.registry.inc("overhead_violations_total")
+        self.registry.inc("overhead_violation_probes_total", event.probes_used)
+
+    def _on_trace_started(self, event: TraceStarted) -> None:
+        self.registry.inc("traces_started_total")
+
+    def _on_trace_finished(self, event: TraceFinished) -> None:
+        registry = self.registry
+        registry.inc("traces_finished_total")
+        if event.reached:
+            registry.inc("traces_reached_total")
+        registry.inc("trace_cache_hits_total", event.cache_hits)
+        registry.observe("trace_hops", event.hops, buckets=TRACE_HOP_BUCKETS)
+        registry.observe("trace_probes", event.probes_sent,
+                         buckets=TRACE_PROBE_BUCKETS)
+
+    def _on_checkpoint(self, event: CheckpointWritten) -> None:
+        self.registry.inc("checkpoints_written_total")
+
+    def _on_survey_progressed(self, event: SurveyProgressed) -> None:
+        registry = self.registry
+        registry.inc("survey_progress_events_total")
+        registry.set_gauge("survey_targets", event.total_targets)
+        registry.set_gauge("survey_completed", event.completed)
+        registry.set_gauge("survey_skipped", event.skipped)
+        registry.set_gauge("survey_reached", event.reached)
+        registry.set_gauge("survey_probes_sent", event.probes_sent)

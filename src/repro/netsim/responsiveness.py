@@ -165,6 +165,16 @@ class ResponsePolicy:
         bucket = self._rate_limiters.get(router_id)
         return bucket is None or bucket.try_consume(now)
 
+    @property
+    def rate_limited(self) -> bool:
+        """Whether any responder currently has a token bucket attached.
+
+        When False, :meth:`rate_limit_allows` is vacuously True for every
+        responder and there is no bucket state to advance, so batch fast
+        paths may skip the per-probe draw entirely.
+        """
+        return bool(self._rate_limiters)
+
     # -- introspection (tests / evaluation) -------------------------------
 
     @property

@@ -63,6 +63,10 @@ class Router:
     default_address: Optional[int] = None
     ip_id_mode: IpIdMode = IpIdMode.SHARED
     _interfaces: Dict[int, Interface] = field(default_factory=dict, repr=False)
+    # First interface per subnet, kept in step with _interfaces so
+    # interface_on() is a dict probe instead of a scan (it sits on the
+    # engine's per-hop forwarding path).
+    _by_subnet: Dict[str, Interface] = field(default_factory=dict, repr=False)
 
     def attach(self, interface: Interface) -> None:
         """Register an interface on this router (one address, one slot)."""
@@ -74,6 +78,7 @@ class Router:
         if interface.address in self._interfaces:
             raise ValueError(f"duplicate address on {self.router_id}: {interface}")
         self._interfaces[interface.address] = interface
+        self._by_subnet.setdefault(interface.subnet_id, interface)
 
     @property
     def interfaces(self) -> List[Interface]:
@@ -99,11 +104,8 @@ class Router:
         return self._interfaces[address]
 
     def interface_on(self, subnet_id: str) -> Optional[Interface]:
-        """The router's interface on ``subnet_id``, or None when not attached."""
-        for iface in self._interfaces.values():
-            if iface.subnet_id == subnet_id:
-                return iface
-        return None
+        """The router's first interface on ``subnet_id``, or None."""
+        return self._by_subnet.get(subnet_id)
 
     def report_address(self) -> Optional[int]:
         """Address a DEFAULT-configured router stamps on replies."""

@@ -55,12 +55,11 @@ class Subnet:
 
     @property
     def router_ids(self) -> List[str]:
-        """Identifiers of the routers attached to this subnet (deduplicated)."""
-        seen = []
-        for iface in self._interfaces.values():
-            if iface.router_id not in seen:
-                seen.append(iface.router_id)
-        return seen
+        """Identifiers of the routers attached to this subnet (deduplicated,
+        first-attachment order).  ``dict.fromkeys`` keeps a 4000-member LAN
+        at O(interfaces) instead of the quadratic membership scan."""
+        return list(dict.fromkeys(
+            iface.router_id for iface in self._interfaces.values()))
 
     @property
     def is_point_to_point(self) -> bool:

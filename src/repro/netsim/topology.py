@@ -48,9 +48,14 @@ class Topology:
         self.hosts: Dict[str, Host] = {}
         self._iface_by_address: Dict[int, Interface] = {}
         self._host_by_address: Dict[int, Host] = {}
-        # Sorted (network, broadcast, subnet_id) index for block lookups;
-        # rebuilt lazily after subnet additions.
-        self._block_index: Optional[List] = None
+        # Sorted (network, broadcast, subnet_id) interval index, maintained
+        # incrementally: overlap checks and block lookups are O(log n), so
+        # registering n subnets costs O(n log n) instead of the O(n^2)
+        # all-pairs scan a million-interface build cannot afford.
+        self._blocks: List = []
+        # Structural mutation counter: bumped whenever the router↔subnet
+        # graph changes, so derived caches (routing tables) can notice.
+        self.version = 0
 
     # -- construction --------------------------------------------------
 
@@ -59,20 +64,31 @@ class Topology:
         if router.router_id in self.routers:
             raise TopologyError(f"duplicate router id {router.router_id}")
         self.routers[router.router_id] = router
+        self.version += 1
         return router
 
     def add_subnet(self, subnet: Subnet) -> Subnet:
         """Register a subnet; its block must not overlap an existing one."""
         if subnet.subnet_id in self.subnets:
             raise TopologyError(f"duplicate subnet id {subnet.subnet_id}")
-        for other in self.subnets.values():
-            if subnet.prefix.overlaps(other.prefix):
-                raise TopologyError(
-                    f"subnet {subnet.subnet_id} block {subnet.prefix} overlaps "
-                    f"{other.subnet_id} block {other.prefix}"
-                )
+        # CIDR blocks either nest or are disjoint, so interval intersection
+        # is exactly prefix overlap — checking the sorted neighbours covers
+        # every existing block without an O(n) scan.
+        entry = (subnet.prefix.network, subnet.prefix.broadcast,
+                 subnet.subnet_id)
+        position = bisect.bisect_left(self._blocks, entry)
+        for neighbor in (position - 1, position):
+            if 0 <= neighbor < len(self._blocks):
+                network, broadcast, other_id = self._blocks[neighbor]
+                if network <= entry[1] and entry[0] <= broadcast:
+                    other = self.subnets[other_id]
+                    raise TopologyError(
+                        f"subnet {subnet.subnet_id} block {subnet.prefix} "
+                        f"overlaps {other.subnet_id} block {other.prefix}"
+                    )
+        self._blocks.insert(position, entry)
         self.subnets[subnet.subnet_id] = subnet
-        self._block_index = None
+        self.version += 1
         return subnet
 
     def connect(self, router_id: str, subnet_id: str, address: int) -> Interface:
@@ -87,6 +103,7 @@ class Topology:
         self.subnets[subnet_id].attach(interface)
         self.routers[router_id].attach(interface)
         self._iface_by_address[address] = interface
+        self.version += 1
         return interface
 
     def add_host(self, host_id: str, subnet_id: str, address: int,
@@ -121,6 +138,7 @@ class Topology:
                     gateway_router_id=gateway_router_id)
         self.hosts[host_id] = host
         self._host_by_address[address] = host
+        self.version += 1
         return host
 
     # -- lookups --------------------------------------------------------
@@ -141,14 +159,9 @@ class Topology:
         host = self._host_by_address.get(address)
         if host is not None:
             return self.subnets[host.subnet_id]
-        if self._block_index is None:
-            self._block_index = sorted(
-                (subnet.prefix.network, subnet.prefix.broadcast, subnet_id)
-                for subnet_id, subnet in self.subnets.items()
-            )
-        position = bisect.bisect_right(self._block_index, (address, 2**32, "")) - 1
+        position = bisect.bisect_right(self._blocks, (address, 2**32, "")) - 1
         if position >= 0:
-            network, broadcast, subnet_id = self._block_index[position]
+            network, broadcast, subnet_id = self._blocks[position]
             if network <= address <= broadcast:
                 return self.subnets[subnet_id]
         return None
@@ -162,12 +175,12 @@ class Topology:
 
     def neighbors(self, router_id: str) -> List[str]:
         """Router ids one subnet away from ``router_id`` (no duplicates)."""
-        seen: List[str] = []
+        seen: Dict[str, None] = {}
         for subnet_id in self.routers[router_id].subnet_ids:
             for other_id in self.subnets[subnet_id].router_ids:
-                if other_id != router_id and other_id not in seen:
-                    seen.append(other_id)
-        return seen
+                if other_id != router_id:
+                    seen.setdefault(other_id)
+        return list(seen)
 
     @property
     def all_interface_addresses(self) -> List[int]:

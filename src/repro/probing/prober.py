@@ -84,8 +84,12 @@ class Prober:
         key = (dst, ttl, self.protocol)
         if self.use_cache and flow_id is None and key in self._cache:
             self.stats.record_cache_hit()
-            if self.events:
-                self.events.emit(CacheHit(dst=dst, ttl=ttl, phase=phase))
+            events = self.events
+            if events:
+                if events.wants(CacheHit):
+                    events.emit(CacheHit(dst=dst, ttl=ttl, phase=phase))
+                else:
+                    events.tally(CacheHit)
             return self._cache[key]
         response = self._send_once(dst, ttl, phase, flow_id)
         attempt = 0
@@ -126,8 +130,13 @@ class Prober:
             if cacheable:
                 if key in self._cache:
                     self.stats.record_cache_hit()
-                    if self.events:
-                        self.events.emit(CacheHit(dst=dst, ttl=ttl, phase=phase))
+                    events = self.events
+                    if events:
+                        if events.wants(CacheHit):
+                            events.emit(
+                                CacheHit(dst=dst, ttl=ttl, phase=phase))
+                        else:
+                            events.tally(CacheHit)
                     results[index] = self._cache[key]
                     continue
                 if key in first_seen:
@@ -161,9 +170,13 @@ class Prober:
 
         for index, primary in dup_of.items():
             self.stats.record_cache_hit()
-            if self.events:
-                dst, ttl = requests[index]
-                self.events.emit(CacheHit(dst=dst, ttl=ttl, phase=phase))
+            events = self.events
+            if events:
+                if events.wants(CacheHit):
+                    dst, ttl = requests[index]
+                    events.emit(CacheHit(dst=dst, ttl=ttl, phase=phase))
+                else:
+                    events.tally(CacheHit)
             results[index] = results[primary]
         return results
 
@@ -197,10 +210,15 @@ class Prober:
         responses: List[Optional[Response]] = []
         if probes:
             responses = send_batch(self.transport, probes)
+            events = self.events
+            # One wants() check per batch: when nobody needs the payload
+            # (counters only) the whole batch tallies as two dict adds.
+            wants_probe = bool(events) and events.wants(ProbeSent)
+            record_outcome = self.stats.record_outcome
             for probe, response in zip(probes, responses):
-                self.stats.record_outcome(response is not None)
-                if self.events:
-                    self.events.emit(ProbeSent(
+                record_outcome(response is not None)
+                if wants_probe:
+                    events.emit(ProbeSent(
                         dst=probe.dst,
                         ttl=probe.ttl,
                         protocol=self.protocol.value,
@@ -212,8 +230,14 @@ class Prober:
                         response_source=(response.source
                                          if response is not None else None),
                     ))
-            if self.events:
-                self.events.emit(ProbeBatchSent(size=len(probes), phase=phase))
+            if events:
+                if not wants_probe:
+                    events.tally(ProbeSent, len(probes))
+                if events.wants(ProbeBatchSent):
+                    events.emit(
+                        ProbeBatchSent(size=len(probes), phase=phase))
+                else:
+                    events.tally(ProbeBatchSent)
         if charge_error is not None:
             raise charge_error
         return responses
@@ -244,19 +268,23 @@ class Prober:
         )
         response = self.transport.send(probe)
         self.stats.record_outcome(response is not None)
-        if self.events:
-            self.events.emit(ProbeSent(
-                dst=dst,
-                ttl=ttl,
-                protocol=self.protocol.value,
-                flow_id=probe.flow_id,
-                phase=phase,
-                answered=response is not None,
-                response_kind=(response.kind.value
-                               if response is not None else None),
-                response_source=(response.source
-                                 if response is not None else None),
-            ))
+        events = self.events
+        if events:
+            if events.wants(ProbeSent):
+                events.emit(ProbeSent(
+                    dst=dst,
+                    ttl=ttl,
+                    protocol=self.protocol.value,
+                    flow_id=probe.flow_id,
+                    phase=phase,
+                    answered=response is not None,
+                    response_kind=(response.kind.value
+                                   if response is not None else None),
+                    response_source=(response.source
+                                     if response is not None else None),
+                ))
+            else:
+                events.tally(ProbeSent)
         return response
 
     # -- measured quantities ---------------------------------------------------

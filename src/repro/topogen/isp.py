@@ -123,6 +123,53 @@ def default_profiles(scale: float = 1.0) -> List[ISPProfile]:
     ]
 
 
+#: Mean fraction of a LAN block's host capacity that synthesis assigns
+#: (midpoint of NetworkBlueprint.lan_utilization) — used to size scale
+#: profiles to an interface budget.
+_MEAN_LAN_UTILIZATION = 0.865
+
+#: Interface-budget split across LAN sizes in scale profiles: half the
+#: interfaces in /22s, the rest split between /21s and /20s.
+_SCALE_LAN_MIX = ((20, 0.20), (21, 0.30), (22, 0.50))
+
+
+def scale_profiles(interfaces: int, isp_count: int = 4) -> List[ISPProfile]:
+    """ISP profiles sized to a total interface budget (scale testing).
+
+    Unlike :func:`default_profiles` (shaped after the paper's four
+    backbones), these profiles exist to stress construction and routing at
+    10^5–10^6 interfaces: each ISP draws from its own /12 inside 10/8 and
+    spends its interface share on large multi-access LANs (/20–/22, the
+    exploration floor), plus a fixed point-to-point backbone.  Behavioural
+    injections are disabled — no firewalled or partially silent subnets,
+    no rate limiting — so the scale lanes measure graph construction and
+    probe dispatch, not response-policy modelling.
+    """
+    if interfaces < isp_count * 1000:
+        raise ValueError(
+            f"scale budget {interfaces} too small for {isp_count} ISPs")
+    share = interfaces // isp_count
+    profiles: List[ISPProfile] = []
+    for index in range(isp_count):
+        distribution: Dict[int, int] = {31: 24, 30: 40}
+        for length, fraction in _SCALE_LAN_MIX:
+            capacity = (1 << (32 - length)) - 2
+            mean_members = capacity * _MEAN_LAN_UTILIZATION
+            count = max(1, round(share * fraction / mean_members))
+            distribution[length] = count
+        profiles.append(ISPProfile(
+            name=f"scale{index}",
+            base=f"10.{index * 16}.0.0/12",
+            distribution=distribution,
+            backbone_routers=16,
+            chords=4,
+            protocol_rates={Protocol.ICMP: 0.97, Protocol.UDP: 0.5,
+                            Protocol.TCP: 0.1},
+            rate_limited_fraction=0.0,
+        ))
+    return profiles
+
+
 @dataclass
 class MultiISPNetwork:
     """Four ISPs, a transit core, and three vantage points — one internet."""
@@ -193,8 +240,15 @@ class MultiISPNetwork:
 
 def build_internet(seed: int = 42, scale: float = 1.0,
                    profiles: Optional[List[ISPProfile]] = None,
-                   vantage_sites=VANTAGE_SITES) -> MultiISPNetwork:
-    """Synthesize the four ISPs, peer them, and attach the vantage points."""
+                   vantage_sites=VANTAGE_SITES,
+                   validate: bool = True) -> MultiISPNetwork:
+    """Synthesize the ISPs, peer them, and attach the vantage points.
+
+    ``validate=False`` skips the final structural validation pass (an
+    O(interfaces) flood fill — correct by construction here, and worth
+    skipping when building million-interface scale topologies twice in a
+    bench run).
+    """
     if profiles is None:
         profiles = default_profiles(scale)
     rng = random.Random(seed)
@@ -224,7 +278,8 @@ def build_internet(seed: int = 42, scale: float = 1.0,
     _peer_isps(builder, isps, rng)
     vantages = _attach_vantages(builder, isps, rng, vantage_sites)
     _apply_isp_policies(builder.topology, policy, profiles, seed)
-    builder.topology.validate()
+    if validate:
+        builder.topology.validate()
     return MultiISPNetwork(
         topology=builder.topology,
         policy=policy,

@@ -377,9 +377,12 @@ def _apply_router_variety(blueprint: NetworkBlueprint,
     """
     from ..netsim.router import IndirectConfig, IpIdMode
 
-    for router_id in sorted(builder.topology.routers):
-        if not router_id.startswith(prefix_tag):
-            continue
+    # Filter before sorting: draws only ever happened for matching routers,
+    # so the RNG stream is unchanged, but a merged million-router topology
+    # is no longer re-sorted wholesale for every blueprint.
+    own = sorted(r for r in builder.topology.routers
+                 if r.startswith(prefix_tag))
+    for router_id in own:
         router = builder.topology.routers[router_id]
         draw = rng.random()
         if draw < blueprint.shortest_path_fraction:

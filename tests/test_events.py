@@ -61,6 +61,60 @@ class TestEventBus:
         assert [e.destination for e in sink.events] == [9]
 
 
+def _probe_sent():
+    return ProbeSent(dst=1, ttl=2, protocol="icmp", flow_id=0, phase="trace",
+                     answered=True, response_kind=None, response_source=None)
+
+
+class TestDispatchMask:
+    def test_wants_everything_for_legacy_sinks(self):
+        # A bare callable declares no interests: the legacy contract is
+        # full payloads for every event type.
+        bus = EventBus()
+        bus.subscribe(lambda e: None)
+        assert bus.wants(ProbeSent)
+        assert bus.wants(TraceStarted)
+
+    def test_counter_sink_wants_only_its_interests(self):
+        bus = EventBus()
+        bus.subscribe(CounterSink())
+        assert bus.wants(HeuristicFired)
+        assert not bus.wants(ProbeSent)
+        assert not bus.wants(HopObserved)
+
+    def test_emit_routes_to_tally_outside_interests(self):
+        bus = EventBus()
+        sink = bus.subscribe(CounterSink())
+        bus.emit(_probe_sent())
+        bus.tally(ProbeSent, 3)
+        assert sink.counts["ProbeSent"] == 4
+
+    def test_payload_sinks_never_see_foreign_types(self):
+        bus = EventBus()
+        collecting = CollectingSink(TraceStarted)
+        bus.subscribe(collecting)
+        bus.emit(_probe_sent())
+        bus.emit(TraceStarted(destination=9))
+        assert [type(e).__name__ for e in collecting.events] == [
+            "TraceStarted"]
+
+    def test_subscribe_invalidates_cached_dispatch(self):
+        bus = EventBus()
+        bus.subscribe(CounterSink())
+        assert not bus.wants(ProbeSent)  # caches the dispatch entry
+        collecting = bus.subscribe(CollectingSink())
+        assert bus.wants(ProbeSent)
+        bus.unsubscribe(collecting)
+        assert not bus.wants(ProbeSent)
+
+    def test_tally_without_counting_sinks_is_a_noop(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.tally(ProbeSent, 5)   # payload-only sink: nothing delivered
+        assert seen == []
+
+
 class TestSerialization:
     def test_roundtrip_every_type(self):
         samples = [

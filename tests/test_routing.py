@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.netsim.routing as routing_module
 from repro.netsim.builder import TopologyBuilder
 from repro.netsim.routing import (
     FlowKey,
@@ -93,6 +94,97 @@ class TestRoutingTable:
         subnet_id = next(iter(topo.subnets))
         assert table.distance("A", subnet_id) is not None
         del island
+
+
+class TestLazyBfsCache:
+    def test_one_bfs_per_destination_subnet(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo)
+        for router in ("A", "B", "C", "D"):
+            table.distance(router, stub.subnet_id)
+            table.next_hops(router, stub.subnet_id)
+        assert table.bfs_runs == 1
+        other = sorted(set(topo.subnets) - {stub.subnet_id})[0]
+        table.distance("A", other)
+        assert table.bfs_runs == 2
+
+    def test_lru_bounds_distance_maps_and_recomputes_evicted(self):
+        topo, stub = diamond()
+        table = RoutingTable(topo, distance_cache_size=2)
+        subnets = sorted(topo.subnets)[:3]
+        for subnet_id in subnets:
+            table.distance("A", subnet_id)
+        assert table.bfs_runs == 3
+        assert len(table._distance) == 2
+        # The oldest entry was evicted; touching it costs a fresh BFS.
+        table.distance("A", subnets[0])
+        assert table.bfs_runs == 4
+        # The most-recent entries are still served from the cache.
+        table.distance("A", subnets[2])
+        assert table.bfs_runs == 4
+
+    def test_topology_mutation_invalidates_graph_and_caches(self):
+        builder = TopologyBuilder("diamond")
+        builder.link("A", "B")
+        builder.link("A", "C")
+        builder.link("B", "D")
+        builder.link("C", "D")
+        stub = builder.link("D", "E")
+        builder.edge_host("v", "A")
+        topo = builder.build()
+        table = RoutingTable(topo)
+        first = table.next_hops("A", stub.subnet_id)
+        assert table.next_hops("A", stub.subnet_id) is first
+        runs_before = table.bfs_runs
+        # Wire a shortcut A - E: the router↔subnet graph changed, so the
+        # interned graph and every derived cache must be rebuilt.
+        builder.link("A", "E")
+        assert table.next_hops("A", stub.subnet_id) is not first
+        assert table.bfs_runs > runs_before
+        hops = table.next_hops("A", stub.subnet_id)
+        assert "E" in {h.router_id for h in hops}
+        assert table.distance("A", stub.subnet_id) == 1
+
+    def test_next_hops_order_is_deterministic(self):
+        # The ECMP candidate enumeration order feeds the load balancers:
+        # NONE always takes the first candidate and PER_FLOW hashes into
+        # the list, so the order itself is part of the contract.
+        topo, stub = diamond()
+        order = [
+            (h.router_id, h.via_subnet_id)
+            for h in RoutingTable(topo).next_hops("A", stub.subnet_id)
+        ]
+        assert [router for router, _ in order] == ["B", "C"]
+        rebuilt = [
+            (h.router_id, h.via_subnet_id)
+            for h in RoutingTable(topo).next_hops("A", stub.subnet_id)
+        ]
+        assert rebuilt == order
+        balancer = LoadBalancer(LoadBalancingMode.NONE)
+        flow = FlowKey(src=1, dst=2, protocol="icmp", flow_id=0)
+        hops = RoutingTable(topo).next_hops("A", stub.subnet_id)
+        assert balancer.choose("A", hops, flow).router_id == "B"
+        per_flow = LoadBalancer(LoadBalancingMode.PER_FLOW)
+        picks = {per_flow.choose("A", hops, flow).router_id
+                 for _ in range(8)}
+        assert len(picks) == 1
+
+    @pytest.mark.skipif(routing_module._np is None,
+                        reason="numpy unavailable; only one path to compare")
+    def test_python_fallback_matches_numpy(self, monkeypatch):
+        topo, _ = diamond()
+        arrays = RoutingTable(topo)
+        monkeypatch.setattr(routing_module, "_np", None)
+        lists = RoutingTable(topo)
+        for subnet_id in sorted(topo.subnets):
+            for router_id in sorted(topo.routers):
+                assert (arrays.distance(router_id, subnet_id)
+                        == lists.distance(router_id, subnet_id)), (
+                    router_id, subnet_id)
+                arrays_hops = arrays.next_hops(router_id, subnet_id)
+                lists_hops = lists.next_hops(router_id, subnet_id)
+                assert arrays_hops == lists_hops, (router_id, subnet_id)
+        assert arrays.bfs_runs == lists.bfs_runs
 
 
 class TestLoadBalancer:

@@ -17,6 +17,7 @@ from repro.topogen import (
     random_topo,
     synthesize,
 )
+from repro.topogen.isp import scale_profiles
 
 
 class TestSynthesize:
@@ -228,6 +229,59 @@ class TestMultiISP:
         total = lambda profiles: sum(sum(p.distribution.values())
                                      for p in profiles)
         assert total(small) < total(full)
+
+
+class TestScaleProfiles:
+    def test_budget_too_small_raises(self):
+        with pytest.raises(ValueError, match="too small"):
+            scale_profiles(500)
+
+    def test_profile_structure(self):
+        profiles = scale_profiles(1_000_000)
+        assert len(profiles) == 4
+        assert [p.base for p in profiles] == [
+            "10.0.0.0/12", "10.16.0.0/12", "10.32.0.0/12", "10.48.0.0/12"]
+        for profile in profiles:
+            # Large LANs dominate the interface budget; the p2p backbone
+            # mix is fixed and small.
+            assert {20, 21, 22} <= set(profile.distribution)
+            assert profile.distribution[31] == 24
+            assert profile.distribution[30] == 40
+            # Scale builds measure construction + dispatch: no stochastic
+            # rate limiting, firewalls, or partial responsiveness.
+            assert profile.rate_limited_fraction == 0.0
+            assert not profile.firewalled
+            assert not profile.partial
+
+    def test_lan_counts_track_the_budget(self):
+        small = scale_profiles(100_000)
+        large = scale_profiles(1_000_000)
+        lans = lambda profiles: sum(
+            profiles[0].distribution[length] for length in (20, 21, 22))
+        assert 8 * lans(small) <= lans(large) <= 12 * lans(small)
+
+    def test_small_scale_build_is_reachable(self):
+        network = build_internet(seed=3, profiles=scale_profiles(4000))
+        assert sorted(network.isps) == ["scale0", "scale1", "scale2",
+                                        "scale3"]
+        engine = Engine(network.topology, policy=network.policy)
+        grouped = network.targets_proportional(seed=3, total=8)
+        vantage = sorted(network.vantages)[0]
+        for addresses in grouped.values():
+            assert addresses
+            assert engine.hop_distance(vantage, addresses[0]) is not None
+
+    def test_validate_flag_skips_flood_fill(self):
+        # validate=False must hand back the same structure (correct by
+        # construction) without running the O(interfaces) validation pass.
+        checked = build_internet(seed=4, profiles=scale_profiles(4000))
+        unchecked = build_internet(seed=4, profiles=scale_profiles(4000),
+                                   validate=False)
+        assert (sorted(unchecked.topology.routers)
+                == sorted(checked.topology.routers))
+        assert (sorted(unchecked.topology.subnets)
+                == sorted(checked.topology.subnets))
+        unchecked.topology.validate()  # still clean when asked
 
 
 class TestFigures:
