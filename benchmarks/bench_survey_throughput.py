@@ -14,8 +14,10 @@ topology in three groups of lanes:
   batched and >= 10x serial (full runs).
 * **counters-only overhead** — the same fastpath survey with no sinks
   vs a single :class:`CounterSink` subscribed (every producer takes the
-  type-only ``tally`` path, no event objects constructed), interleaved
-  best-of-reps.  Gate: <= 0.25 overhead (full runs).
+  type-only ``tally`` path, no event objects constructed) vs counters
+  plus a clocked span tracer (full event construction + tree upkeep),
+  interleaved best-of-reps.  Gates: <= 0.25 counters-only, <= 0.30
+  counters+tracing (full runs).
 * **scale lanes** — million-interface topologies from
   ``topogen.isp.scale_profiles`` built and surveyed in subprocesses
   (clean per-lane ``ru_maxrss``), recording build seconds, probes/sec,
@@ -263,29 +265,40 @@ def archive_bytes(archive) -> str:
     return json.dumps(archive_to_dict(archive), sort_keys=True)
 
 
-def counters_overhead(network, targets, reps: int = 3) -> dict:
-    """Measured cost of counter-only event subscription.
+def counters_overhead(network, targets, reps: int = 5) -> dict:
+    """Measured cost of counter-only and counters+tracing subscription.
 
-    Runs the same fastpath survey with no sinks attached and with a
-    single :class:`CounterSink` subscribed.  The sink declares payload
-    interest only in ``HeuristicFired``, so every hot-path producer takes
-    the bus's type-only ``tally`` branch and never constructs an event
-    object — what this lane measures is the dispatch-mask bookkeeping
-    itself.
+    Runs the same fastpath survey three ways: no sinks attached, a single
+    :class:`CounterSink` subscribed, and the counter sink plus a clocked
+    :class:`SpanBuilder`.  The counter sink declares payload interest only
+    in ``HeuristicFired``, so every hot-path producer takes the bus's
+    type-only ``tally`` branch and never constructs an event object — that
+    lane measures the dispatch-mask bookkeeping itself.  The tracing arm
+    forces full event construction (the span builder consumes payloads for
+    most types) plus per-event tree maintenance and a ``perf_counter``
+    stamp per structural boundary, so it bounds the cost of running a
+    survey with ``--spans-out`` live.
 
-    The two arms are *interleaved* ``reps`` times and each reports its
-    fastest rep before the overhead ratio is taken.  That is essential on
-    a shared box: a single plain/counters pair can swing ±30% with noise,
+    The three arms are *interleaved* ``reps`` times and each reports its
+    fastest rep before the overhead ratios are taken.  That is essential
+    on a shared box: a single pair of runs can swing ±30% with noise,
     dwarfing the few-percent signal, while best-of-reps converges on the
-    steady-state rate for both arms.
+    steady-state rate for every arm.
     """
-    def one_survey(with_sink: bool):
+    from repro.tracing import SpanBuilder
+
+    def one_survey(mode: str):
         engine = Engine(network.topology, policy=network.policy,
                         path_cache=True)
         tool = TraceNET(engine, "utdallas")
-        sink = CounterSink() if with_sink else None
-        if sink is not None:
+        sink = None
+        if mode in ("counters", "tracing"):
+            sink = CounterSink()
             tool.events.subscribe(sink)
+        tracer = None
+        if mode == "tracing":
+            tracer = SpanBuilder(clock=time.perf_counter)
+            tool.events.subscribe(tracer)
         runner = SurveyRunner(tool)
         gc.collect()
         gc.disable()
@@ -293,24 +306,30 @@ def counters_overhead(network, targets, reps: int = 3) -> dict:
         runner.run(targets)
         elapsed = time.perf_counter() - started
         gc.enable()
+        if tracer is not None:
+            tracer.finish()
         return tool.prober.stats.sent / elapsed, sink
 
-    plain_rates, counter_rates = [], []
+    rates = {"plain": [], "counters": [], "tracing": []}
     counts = {}
     for _ in range(reps):
-        rate, _ = one_survey(with_sink=False)
-        plain_rates.append(rate)
-        rate, sink = one_survey(with_sink=True)
-        counter_rates.append(rate)
-        counts = dict(sink.counts)  # identical across reps
-    overhead = 1 - max(counter_rates) / max(plain_rates)
+        for mode in ("plain", "counters", "tracing"):
+            rate, sink = one_survey(mode)
+            rates[mode].append(rate)
+            if mode == "counters":
+                counts = dict(sink.counts)  # identical across reps
+    overhead = 1 - max(rates["counters"]) / max(rates["plain"])
+    tracing_overhead = 1 - max(rates["tracing"]) / max(rates["plain"])
     return {
         "reps": reps,
-        "plain_probes_per_sec": [round(r, 1) for r in plain_rates],
-        "counter_probes_per_sec": [round(r, 1) for r in counter_rates],
-        "best_plain": round(max(plain_rates), 1),
-        "best_counters": round(max(counter_rates), 1),
+        "plain_probes_per_sec": [round(r, 1) for r in rates["plain"]],
+        "counter_probes_per_sec": [round(r, 1) for r in rates["counters"]],
+        "tracing_probes_per_sec": [round(r, 1) for r in rates["tracing"]],
+        "best_plain": round(max(rates["plain"]), 1),
+        "best_counters": round(max(rates["counters"]), 1),
+        "best_tracing": round(max(rates["tracing"]), 1),
         "overhead": round(overhead, 4),
+        "tracing_overhead": round(tracing_overhead, 4),
         "event_counts": counts,
     }
 
@@ -513,6 +532,9 @@ def run(smoke: bool = False, workers: int = 2) -> dict:
         # Fractional rate cost when only counter sinks are subscribed:
         # every producer takes the type-only tally path.
         "counters_only_overhead": counters["overhead"],
+        # Counter sink + clocked SpanBuilder: full event construction and
+        # span-tree maintenance — the live cost of `survey --spans-out`.
+        "counters_tracing_overhead": counters["tracing_overhead"],
         "survey": {
             "serial": survey_slow,
             "fastpath": survey_fast,
@@ -601,6 +623,9 @@ def check(result: dict, smoke: bool) -> None:
         assert result["counters_only_overhead"] <= 0.25, (
             f"counter-only instrumentation costs "
             f"{result['counters_only_overhead']:.1%} of survey rate")
+        assert result["counters_tracing_overhead"] <= 0.30, (
+            f"counters + span tracing costs "
+            f"{result['counters_tracing_overhead']:.1%} of survey rate")
         for budget, lane in result["scale"].items():
             assert lane["probes"] > 0 and lane["subnets_collected"] > 0, (
                 f"scale lane {budget} collected nothing")
@@ -672,7 +697,8 @@ def main(argv=None) -> int:
           f"probes/sec ({result['instrumentation_overhead']:.1%} metrics "
           f"overhead), {result['overhead_violations']} auditor violations")
     print(f"counters-only overhead: "
-          f"{result['counters_only_overhead']:.1%} "
+          f"{result['counters_only_overhead']:.1%}, "
+          f"counters+tracing: {result['counters_tracing_overhead']:.1%} "
           f"(best-of-{result['counters_only']['reps']} interleaved)")
     for budget, lane in sorted(result.get("scale", {}).items(),
                                key=lambda item: int(item[0])):

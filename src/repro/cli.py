@@ -188,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault injection: the first worker dies "
                             "silently after N survey targets (exercises "
                             "re-lease + checkpoint resume)")
+    serve.add_argument("--health-out", default=None, metavar="PATH",
+                       help="publish fleet health telemetry (queue depth, "
+                            "lease ages, heartbeat lag) as Prometheus text "
+                            "to this file on every fleet tick")
     serve.set_defaults(handler=cmd_serve)
 
     jobs_cmd = subparsers.add_parser(
@@ -211,7 +215,32 @@ def build_parser() -> argparse.ArgumentParser:
                            default="json", dest="metrics_format")
     stats_cmd.add_argument("--out", default=None, metavar="PATH",
                            help="write the metrics there instead of stdout")
+    stats_cmd.add_argument("--heuristics", action="store_true",
+                           help="also print the per-rule H1-H9 attribution "
+                                "table (fires, probes charged, verdicts, "
+                                "subnet-growth outcomes)")
     stats_cmd.set_defaults(handler=cmd_stats)
+
+    spans_cmd = subparsers.add_parser(
+        "spans", help="derive a journal's deterministic span tree offline "
+                      "(probe, event, or service job journals)")
+    spans_cmd.add_argument("journal", metavar="JOURNAL",
+                           help="a probe journal (--record), session-event "
+                                "journal (--events), or a service job's "
+                                "committed events.jsonl")
+    spans_cmd.add_argument("--source", default=None,
+                           help="vantage host id override (probe journals)")
+    spans_cmd.add_argument("--dest", default=None,
+                           help="destination IP override (probe journals)")
+    spans_cmd.add_argument("--json", action="store_true", dest="as_json",
+                           help="emit the tree as JSON instead of the "
+                                "critical-path / heuristics report")
+    spans_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="write the JSON tree there (implies --json)")
+    spans_cmd.add_argument("--chrome-out", default=None, metavar="PATH",
+                           help="write a Chrome trace-event document "
+                                "(empty for untimed offline trees)")
+    spans_cmd.set_defaults(handler=cmd_spans)
     return parser
 
 
@@ -264,6 +293,50 @@ def _add_transport_options(command: argparse.ArgumentParser) -> None:
                          help="Doubletree stop sets: suppress re-probing of "
                               "path prefixes already traced this session "
                               "(fewer probes, same map)")
+    command.add_argument("--spans-out", default=None, metavar="PATH",
+                         help="write the run's deterministic span tree "
+                              "there as JSON ('-' for stdout); the same "
+                              "tree 'tracenet spans' derives offline")
+    command.add_argument("--chrome-out", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON flamegraph "
+                              "of the run (timing plane)")
+
+
+def _maybe_tracer(args):
+    """A clocked SpanBuilder when --spans-out/--chrome-out ask for one.
+
+    The clock feeds only the quarantined timing plane: the JSON written by
+    ``--spans-out`` is the deterministic serialization, bit-identical to
+    what ``tracenet spans`` derives from the matching journal offline.
+    """
+    if not (getattr(args, "spans_out", None)
+            or getattr(args, "chrome_out", None)):
+        return None
+    from time import perf_counter
+
+    from .tracing import SpanBuilder
+
+    return SpanBuilder(clock=perf_counter)
+
+
+def _write_spans(tracer, args) -> None:
+    """Flush a finished tracer to --spans-out / --chrome-out."""
+    if tracer is None:
+        return
+    root = tracer.finish()
+    if args.spans_out:
+        payload = json.dumps(root.to_dict(), indent=1, sort_keys=True) + "\n"
+        if args.spans_out == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.spans_out, "w", encoding="utf-8") as fp:
+                fp.write(payload)
+            print(f"wrote span tree to {args.spans_out}", file=sys.stderr)
+    if args.chrome_out:
+        from .tracing import chrome_trace, write_chrome_trace
+
+        write_chrome_trace(args.chrome_out, chrome_trace(root))
+        print(f"wrote Chrome trace to {args.chrome_out}", file=sys.stderr)
 
 
 def _collector_options(args) -> dict:
@@ -329,6 +402,9 @@ def cmd_trace(args) -> int:
     event_sink = None
     if args.events:
         event_sink = tool.events.subscribe(JsonlEventSink(args.events))
+    tracer = _maybe_tracer(args)
+    if tracer is not None:
+        tool.events.subscribe(tracer)
     registry = None
     if args.metrics_out:
         registry = MetricsRegistry()
@@ -344,6 +420,7 @@ def cmd_trace(args) -> int:
         transport.close()
     if registry is not None:
         _write_metrics(registry, args.metrics_out, args.metrics_format)
+    _write_spans(tracer, args)
     if args.as_json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -369,9 +446,11 @@ def cmd_survey(args) -> int:
         print("--record and --replay are mutually exclusive", file=sys.stderr)
         return 2
     sharded = args.workers > 1 or args.checkpoint_dir is not None
-    if sharded and (args.record or args.replay or args.events):
-        print("--record/--replay/--events need the serial path "
-              "(drop --workers/--checkpoint-dir)", file=sys.stderr)
+    if sharded and (args.record or args.replay or args.events
+                    or args.spans_out or args.chrome_out):
+        print("--record/--replay/--events/--spans-out/--chrome-out need "
+              "the serial path (drop --workers/--checkpoint-dir)",
+              file=sys.stderr)
         return 2
     module = internet2 if args.network == "internet2" else geant
     network = module.build(seed=args.seed)
@@ -423,10 +502,12 @@ def cmd_survey(args) -> int:
         if args.progress:
             sinks.append(tool.events.subscribe(ProgressSink()))
         registry = MetricsRegistry() if args.metrics_out else None
+        tracer = _maybe_tracer(args)
         try:
             from .runner import SurveyRunner
 
-            SurveyRunner(tool, metrics=registry).run(target_list)
+            SurveyRunner(tool, metrics=registry,
+                         tracer=tracer).run(target_list)
             if registry is not None:
                 collect_backend_metrics(registry.backend, transport)
         finally:
@@ -435,6 +516,7 @@ def cmd_survey(args) -> int:
             transport.close()
         if registry is not None:
             _write_metrics(registry, args.metrics_out, args.metrics_format)
+        _write_spans(tracer, args)
         subnets = tool.collected_subnets
         probes_sent = tool.prober.stats.sent
     report = match_subnets(network.ground_truth,
@@ -636,7 +718,16 @@ def cmd_serve(args) -> int:
             f"worker-{index}", coordinator,
             stream_every=max(1, args.stream_every),
             fail_after_targets=fail_after))
-    ServiceFleet(coordinator, workers).run(timeout=args.timeout)
+    on_tick = None
+    if args.health_out:
+        def on_tick(path=args.health_out):
+            payload = render_prometheus(coordinator.health_registry())
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as fp:
+                fp.write(payload)
+            os.replace(tmp_path, path)
+    ServiceFleet(coordinator, workers).run(timeout=args.timeout,
+                                           on_tick=on_tick)
     crashed = sum(1 for worker in workers if worker.crashed)
     print(f"fleet of {len(workers)} worker(s) drained "
           f"{len(pending)} job(s)"
@@ -654,6 +745,18 @@ def cmd_serve(args) -> int:
         archive_path = os.path.join(job_dir, "archive.json")
         with open(archive_path, "w", encoding="utf-8") as fp:
             json.dump(archive_to_dict(result.archive), fp, indent=1)
+        spans_path = chrome_path = None
+        if result.spans is not None:
+            from .tracing import chrome_trace_for_service, write_chrome_trace
+
+            spans_path = os.path.join(job_dir, "spans.json")
+            with open(spans_path, "w", encoding="utf-8") as fp:
+                json.dump(result.spans.to_dict(), fp, indent=1,
+                          sort_keys=True)
+                fp.write("\n")
+            chrome_path = os.path.join(job_dir, "trace.chrome.json")
+            write_chrome_trace(chrome_path, chrome_trace_for_service(
+                result.spans, result.worker_spans))
         result_path = os.path.join(job_dir, "result.json")
         with open(result_path, "w", encoding="utf-8") as fp:
             json.dump({
@@ -665,6 +768,8 @@ def cmd_serve(args) -> int:
                 "event_counts": dict(sorted(result.event_counts.items())),
                 "events_path": result.events_path,
                 "archive_path": archive_path,
+                "spans_path": spans_path,
+                "chrome_trace_path": chrome_path,
                 "stop_set": (result.stop_set.to_dict()
                              if result.stop_set is not None else None),
                 "dedupe": coordinator.store.counters(),
@@ -697,11 +802,21 @@ def cmd_jobs(args) -> int:
 def cmd_stats(args) -> int:
     from .metrics import journal_kind, stats_from_events
 
+    builder = None
+    if args.heuristics:
+        from .tracing import SpanBuilder
+
+        builder = SpanBuilder()
     try:
         if journal_kind(args.journal) == "events":
             stats = stats_from_events(args.journal)
+            if builder is not None:
+                from .events import replay_events
+
+                for event in replay_events(args.journal):
+                    builder(event)
         else:
-            stats = _probe_journal_stats(args)
+            stats = _probe_journal_stats(args, builder)
     except (OSError, ValueError) as exc:
         print(f"stats failed: {exc}", file=sys.stderr)
         return 2
@@ -712,15 +827,55 @@ def cmd_stats(args) -> int:
               file=sys.stderr)
     else:
         _write_metrics(stats.registry, "-", args.metrics_format)
+    if builder is not None:
+        from .tracing import render_heuristics_table
+
+        print(render_heuristics_table(builder.finish()))
     return 0
 
 
-def _probe_journal_stats(args):
+def _probe_journal_stats(args, builder=None):
     return stats_from_journal(
         args.journal,
         vantage=args.source,
         destination=ip(args.dest) if args.dest else None,
+        extra_sinks=(builder,) if builder is not None else (),
     )
+
+
+def cmd_spans(args) -> int:
+    from .tracing import (
+        chrome_trace,
+        per_trace_table,
+        render_report,
+        span_tree_from_journal,
+        write_chrome_trace,
+    )
+
+    try:
+        root = span_tree_from_journal(
+            args.journal,
+            vantage=args.source,
+            destination=ip(args.dest) if args.dest else None)
+    except (OSError, ValueError) as exc:
+        print(f"spans failed: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json or args.out:
+        payload = json.dumps(root.to_dict(), indent=1, sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fp:
+                fp.write(payload)
+            print(f"wrote span tree to {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(payload)
+    else:
+        print(render_report(root))
+        print()
+        print(per_trace_table(root))
+    if args.chrome_out:
+        write_chrome_trace(args.chrome_out, chrome_trace(root))
+        print(f"wrote Chrome trace to {args.chrome_out}", file=sys.stderr)
+    return 0
 
 
 def _resolve_destination(scenario, source: str, dest: Optional[str]) -> int:

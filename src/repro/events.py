@@ -27,12 +27,12 @@ from typing import Callable, Dict, IO, List, Optional, Tuple, Type, Union
 # -- the event taxonomy -------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionEvent:
     """Base class for everything the collectors emit."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeSent(SessionEvent):
     """One probe actually put on the wire (cache hits emit :class:`CacheHit`).
 
@@ -53,7 +53,7 @@ class ProbeSent(SessionEvent):
     response_source: Optional[int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheHit(SessionEvent):
     """A probe answered from the prober's response cache — nothing hit the
     wire.  Without this event, event-derived probe totals undercount the
@@ -65,7 +65,7 @@ class CacheHit(SessionEvent):
     phase: Optional[str]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeSuppressed(SessionEvent):
     """A probe the collector decided not to send at all.
 
@@ -84,7 +84,7 @@ class ProbeSuppressed(SessionEvent):
     address: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeBatchSent(SessionEvent):
     """One transport batch dispatched via ``send_many`` (wire probes only).
 
@@ -97,7 +97,7 @@ class ProbeBatchSent(SessionEvent):
     phase: Optional[str]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HopObserved(SessionEvent):
     """Trace-collection mode classified the answer at one TTL."""
 
@@ -107,7 +107,7 @@ class HopObserved(SessionEvent):
     address: Optional[int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubnetPositioned(SessionEvent):
     """Algorithm 2 finished for one trace address (successfully or not)."""
 
@@ -118,7 +118,7 @@ class SubnetPositioned(SessionEvent):
     on_trace_path: Optional[bool]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeuristicFired(SessionEvent):
     """One H2–H8 judgement on one candidate address."""
 
@@ -128,7 +128,7 @@ class HeuristicFired(SessionEvent):
     detail: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubnetShrunk(SessionEvent):
     """H1 stop-and-shrink (or the half-utilization rule) cut the growth."""
 
@@ -137,7 +137,7 @@ class SubnetShrunk(SessionEvent):
     prefix_length: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubnetGrown(SessionEvent):
     """Algorithm 1 finished: one observed subnet, ready for the archive.
 
@@ -162,14 +162,14 @@ class SubnetGrown(SessionEvent):
     candidates_tested: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceStarted(SessionEvent):
     """A tracenet session toward one destination began."""
 
     destination: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceFinished(SessionEvent):
     """A tracenet session ended (reached, looped, or gave up).
 
@@ -184,7 +184,7 @@ class TraceFinished(SessionEvent):
     cache_hits: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OverheadViolation(SessionEvent):
     """The probe-economy auditor caught a subnet exceeding the Section 3.6
     bound: growing it cost more than ``slack * (7|S| + 7)`` wire probes.
@@ -203,7 +203,7 @@ class OverheadViolation(SessionEvent):
     phase_probes: Optional[Dict[str, int]] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CheckpointWritten(SessionEvent):
     """The survey runner persisted its archive."""
 
@@ -212,7 +212,7 @@ class CheckpointWritten(SessionEvent):
     traces: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SurveyProgressed(SessionEvent):
     """Per-target survey progress (drives progress bars and hooks)."""
 
@@ -287,6 +287,17 @@ class EventBus:
     With only counter sinks subscribed that path costs two dict probes and
     one integer add per event — the "zero-cost emission" contract the
     instrumentation-overhead bench lane gates on.
+
+    **Failure isolation.**  A raising sink must not abort collection: a
+    broken progress renderer (or a full disk under a JSONL sink) is an
+    observability failure, not a measurement failure.  :meth:`emit`
+    therefore catches sink exceptions, counts the dropped delivery in
+    :attr:`sink_errors` (surfaced as ``event_sink_errors_total`` in the
+    quarantined backend metrics scope), and keeps dispatching to the
+    remaining sinks.  Sinks that *are* control flow — the service worker's
+    heartbeat/streaming sinks whose :class:`StaleLeaseError` aborts a
+    fenced shard, fault-injection sinks — opt out by setting
+    ``propagate_errors = True``.
     """
 
     def __init__(self) -> None:
@@ -294,6 +305,10 @@ class EventBus:
         # type -> (payload sinks, counting sinks tallying this type).
         self._dispatch: Dict[Type[SessionEvent],
                              Tuple[Tuple[Sink, ...], Tuple[Sink, ...]]] = {}
+        #: Dropped deliveries by sink name (isolated failures only).
+        self.sink_errors: Dict[str, int] = {}
+        #: The most recent isolated failure, as ``(sink, "Type: message")``.
+        self.last_sink_error: Optional[Tuple[str, str]] = None
 
     def __bool__(self) -> bool:
         return bool(self._sinks)
@@ -354,7 +369,10 @@ class EventBus:
         if entry is None:
             entry = self._build_dispatch(cls)
         for sink in entry[1]:
-            sink.tally(cls, count)
+            try:
+                sink.tally(cls, count)
+            except Exception as exc:
+                self._sink_failed(sink, exc)
 
     def emit(self, event: SessionEvent) -> None:
         cls = event.__class__
@@ -363,9 +381,28 @@ class EventBus:
             entry = self._build_dispatch(cls)
         payload, tallies = entry
         for sink in payload:
-            sink(event)
+            try:
+                sink(event)
+            except Exception as exc:
+                self._sink_failed(sink, exc)
         for sink in tallies:
-            sink.tally(cls, 1)
+            try:
+                sink.tally(cls, 1)
+            except Exception as exc:
+                self._sink_failed(sink, exc)
+
+    def _sink_failed(self, sink: Sink, exc: Exception) -> None:
+        """Isolate (and count) a sink failure — or re-raise for sinks
+        that use exceptions as control flow (``propagate_errors``)."""
+        if getattr(sink, "propagate_errors", False):
+            raise exc
+        name = getattr(sink, "__name__", None) or type(sink).__name__
+        self.sink_errors[name] = self.sink_errors.get(name, 0) + 1
+        self.last_sink_error = (name, f"{type(exc).__name__}: {exc}")
+
+    @property
+    def total_sink_errors(self) -> int:
+        return sum(self.sink_errors.values())
 
 
 # -- sinks --------------------------------------------------------------------

@@ -38,7 +38,7 @@ from .analytics import (
 from .auditor import DEFAULT_SLACK, ProbeEconomyAuditor
 from .prometheus import render_prometheus
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .sink import MetricsSink
+from .sink import MetricsSink, collect_bus_metrics
 
 
 @dataclass
@@ -88,6 +88,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSink",
     "ProbeEconomyAuditor",
+    "collect_bus_metrics",
     "instrument",
     "instrumented_collection",
     "journal_kind",

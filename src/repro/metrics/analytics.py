@@ -27,7 +27,7 @@ from ..transport import ProbeTransport, ReplayTransport
 from ..transport.base import collect_backend_metrics
 from .auditor import DEFAULT_SLACK, ProbeEconomyAuditor
 from .registry import MetricsRegistry
-from .sink import MetricsSink
+from .sink import MetricsSink, collect_bus_metrics
 
 
 def registry_from_events(events: Iterable[SessionEvent],
@@ -54,7 +54,8 @@ def instrumented_collection(transport: ProbeTransport, vantage: str,
                             targets: Optional[Sequence[int]] = None,
                             registry: Optional[MetricsRegistry] = None,
                             slack: float = DEFAULT_SLACK,
-                            collector_options: Optional[Dict] = None
+                            collector_options: Optional[Dict] = None,
+                            extra_sinks: Sequence = ()
                             ) -> MetricsRegistry:
     """Run one collection (trace or survey) with full instrumentation.
 
@@ -64,13 +65,17 @@ def instrumented_collection(transport: ProbeTransport, vantage: str,
     ``collector_options`` (``batch_window``, ``stop_sets``,
     ``stop_prefix_length``) rebuilds the collector the journal was recorded
     with — a batched or stop-set journal replays only under the same
-    options, since they change the probe stream.
+    options, since they change the probe stream.  ``extra_sinks`` are
+    subscribed before the metrics pipeline — e.g. a
+    :class:`~repro.tracing.SpanBuilder` riding along an offline replay.
     """
     if (destination is None) == (targets is None):
         raise ValueError("pass exactly one of destination= or targets=")
     registry = registry if registry is not None else MetricsRegistry()
     tool = TraceNET(transport, vantage,
                     **_collector_kwargs(collector_options))
+    for sink in extra_sinks:
+        tool.events.subscribe(sink)
     tool.events.subscribe(MetricsSink(registry))
     tool.events.subscribe(ProbeEconomyAuditor(tool.events, slack=slack))
     with registry.time("collection_seconds"):
@@ -79,6 +84,7 @@ def instrumented_collection(transport: ProbeTransport, vantage: str,
         else:
             SurveyRunner(tool).run(list(targets))
     collect_backend_metrics(registry.backend, transport)
+    collect_bus_metrics(registry.backend, tool.events)
     return registry
 
 
@@ -127,7 +133,8 @@ def stats_from_journal(source: Union[str, IO],
                        vantage: Optional[str] = None,
                        destination: Optional[int] = None,
                        targets: Optional[Sequence[int]] = None,
-                       slack: float = DEFAULT_SLACK) -> JournalStats:
+                       slack: float = DEFAULT_SLACK,
+                       extra_sinks: Sequence = ()) -> JournalStats:
     """Replay a recorded probe journal offline and rebuild its registry.
 
     Overrides win over journal metadata; with neither, the journal must
@@ -144,7 +151,8 @@ def stats_from_journal(source: Union[str, IO],
         destination, targets = _resolve_run_shape(metadata)
     registry = instrumented_collection(
         transport, vantage, destination=destination, targets=targets,
-        slack=slack, collector_options=metadata.get("collector"))
+        slack=slack, collector_options=metadata.get("collector"),
+        extra_sinks=extra_sinks)
     return JournalStats(
         registry=registry,
         mode="trace" if destination is not None else "survey",

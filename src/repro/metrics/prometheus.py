@@ -18,9 +18,17 @@ from .registry import Counter, Gauge, Histogram, LabelItems, MetricsRegistry
 NAMESPACE = "tracenet"
 
 
-def _escape(value: str) -> str:
+def _escape_label_value(value: str) -> str:
+    """0.0.4 label values: backslash, double quote and newline escape."""
     return (str(value).replace("\\", r"\\").replace('"', r'\"')
             .replace("\n", r"\n"))
+
+
+def _escape_help(value: str) -> str:
+    """0.0.4 HELP text: only backslash and newline escape — a quote in
+    help prose stays raw (escaping it renders literal ``\\"`` in every
+    scraper's metadata view)."""
+    return str(value).replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _labels_text(labels: LabelItems, extra: Optional[Dict] = None) -> str:
@@ -29,7 +37,7 @@ def _labels_text(labels: LabelItems, extra: Optional[Dict] = None) -> str:
         items.extend(extra.items())
     if not items:
         return ""
-    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return f"{{{inner}}}"
 
 
@@ -74,7 +82,7 @@ def _render_scope(lines: List[str], registry: MetricsRegistry,
         full = f"{namespace}_{name}"
         help_text = help_of(name)
         if help_text:
-            lines.append(f"# HELP {full} {_escape(help_text)}")
+            lines.append(f"# HELP {full} {_escape_help(help_text)}")
         lines.append(f"# TYPE {full} {kind}")
         for metric in metrics:
             if isinstance(metric, (Counter, Gauge)):

@@ -229,3 +229,20 @@ class MetricsSink:
         registry.set_gauge("survey_skipped", event.skipped)
         registry.set_gauge("survey_reached", event.reached)
         registry.set_gauge("survey_probes_sent", event.probes_sent)
+
+
+def collect_bus_metrics(registry, bus) -> None:
+    """Capture the bus's sink-failure tallies into a registry scope.
+
+    ``registry`` is duck-typed (anything with ``set_gauge``), normally the
+    quarantined ``backend`` scope: sink failures are operational facts
+    about one process, not part of the deterministic event stream, so they
+    must never reach ``snapshot()``.  Gauges, not counters — re-capturing
+    after a longer run overwrites rather than doubles, matching
+    :func:`repro.transport.base.collect_backend_metrics`.
+    """
+    if registry is None:
+        return
+    registry.set_gauge("event_sink_errors_total", bus.total_sink_errors)
+    for name, count in sorted(bus.sink_errors.items()):
+        registry.set_gauge("event_sink_errors", count, sink=name)

@@ -187,7 +187,8 @@ def run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
               checkpoint_every: int,
               sinks: Sequence = (),
               seed_subnets: Optional[Sequence[Dict]] = None,
-              audit: bool = True) -> Dict:
+              audit: bool = True,
+              spans: bool = False) -> Dict:
     """Worker entry point: rebuild, survey one shard, return plain dicts.
 
     This is the shard primitive shared by the process-pool runner and the
@@ -203,10 +204,22 @@ def run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
       registered twice;
     * ``audit=False`` suppresses the in-shard probe-economy auditor so a
       coordinator can run one auditor over the merged event stream instead
-      of double-counting violations.
+      of double-counting violations;
+    * ``spans=True`` attaches a clocked :class:`~repro.tracing.SpanBuilder`
+      and ships the worker's *timed* span tree in the payload under
+      ``"spans"`` (the deterministic tree is the coordinator's to derive
+      from the committed journal — only the local timings need the worker).
     """
     started = time.perf_counter()
     tool = spec.build_tool()
+    tracer = None
+    if spans:
+        from .tracing import SpanBuilder
+
+        tracer = SpanBuilder(clock=time.perf_counter, root_kind="shard",
+                             root_name=f"shard-{shard_index}",
+                             meta={"shard": shard_index})
+        tool.events.subscribe(tracer)
     for sink in sinks:
         tool.events.subscribe(sink)
     events = CounterSink()
@@ -236,6 +249,8 @@ def run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
         "survey_seconds": finished - built,
         "stop_set": (tool.stop_set.to_dict()
                      if tool.stop_set is not None else None),
+        "spans": (tracer.finish().to_dict(timing=True)
+                  if tracer is not None else None),
     }
 
 
@@ -367,6 +382,9 @@ class ShardOutcome:
     #: Lease attempt that produced this outcome (1 on the first delivery;
     #: > 1 means the shard was re-leased after a worker death).
     attempt: int = 1
+    #: Worker-side timed span tree (``Span.to_dict(timing=True)``), kept
+    #: in dict form — worker clocks share no timebase with the caller's.
+    spans: Optional[Dict] = None
 
 
 def outcome_from_payload(shard_index: int, targets: Sequence[int],
@@ -394,6 +412,7 @@ def outcome_from_payload(shard_index: int, targets: Sequence[int],
         stop_set=(StopSet.from_dict(shard_stop_set)
                   if shard_stop_set is not None else None),
         attempt=attempt,
+        spans=payload.get("spans"),
     )
 
 

@@ -63,19 +63,26 @@ class SurveyRunner:
             given, a metrics sink and probe-economy auditor are attached to
             the tool's event bus for the lifetime of this runner, and
             ``run()`` records a ``survey_run_seconds`` timing span.
+        tracer: optional :class:`repro.tracing.SpanBuilder`.  Subscribed
+            to the tool's event bus before the metrics sinks so its span
+            attribution sees the same stream order a bare journal records;
+            ``run()`` finishes the tree when the survey ends.
     """
 
     def __init__(self, tool: TraceNET,
                  checkpoint_path: Optional[str] = None,
                  checkpoint_every: int = 25,
                  progress: Optional[Callable[[SurveyProgress], None]] = None,
-                 metrics=None):
+                 metrics=None, tracer=None):
         self.tool = tool
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = max(1, checkpoint_every)
         self.progress_hook = progress
         if progress is not None:
             self.tool.events.subscribe(self._hook_adapter)
+        self.tracer = tracer
+        if tracer is not None:
+            self.tool.events.subscribe(tracer)
         self.metrics = metrics
         self._instrumentation = None
         if metrics is not None:
@@ -100,10 +107,14 @@ class SurveyRunner:
         with a second target list) must not inherit ``completed``/``skipped``
         from the previous call, or ``remaining`` goes negative.
         """
-        if self.metrics is not None:
-            with self.metrics.time("survey_run_seconds"):
-                return self._run(targets)
-        return self._run(targets)
+        try:
+            if self.metrics is not None:
+                with self.metrics.time("survey_run_seconds"):
+                    return self._run(targets)
+            return self._run(targets)
+        finally:
+            if self.tracer is not None:
+                self.tracer.finish()
 
     def _run(self, targets: Sequence[int]) -> SurveyProgress:
         self.progress = SurveyProgress(total_targets=len(targets))

@@ -65,6 +65,8 @@ from ..parallel import (
 )
 from ..probing.budget import ProbeStats
 from ..probing.stopset import StopSet
+from ..tracing import Span
+from ..tracing.service import ATTEMPT_KEY, SHARD_KEY, ServiceSpanAssembler
 from .jobs import JobQueue, JobState, SurveyJob
 
 #: Leases whose heartbeat is older than this many seconds are reaped.
@@ -128,14 +130,23 @@ class JobResult:
     attempts: Dict[int, int]
     event_counts: Dict[str, int]
     events_path: Optional[str] = None
+    #: Job → shard-lease → trace span tree assembled from the committed
+    #: stream; its deterministic serialization equals
+    #: ``span_tree_from_journal(events_path)`` (lease stamps are timing
+    #: plane only).
+    spans: Optional[Span] = None
+    #: Shard index → the worker's own timed span tree (dict form; worker
+    #: clocks share no timebase with the coordinator's).
+    worker_spans: Dict[int, Dict] = field(default_factory=dict)
 
 
 class _JobRuntime:
     """Coordinator-internal live state of one running job."""
 
     def __init__(self, job: SurveyJob, slices: List[List[int]],
-                 events_path: Optional[str]):
+                 events_path: Optional[str], clock=time.monotonic):
         self.job = job
+        self.clock = clock
         self.slices = slices
         self.pending: List[int] = list(range(len(slices)))
         self.leases: Dict[int, ShardLease] = {}
@@ -159,11 +170,29 @@ class _JobRuntime:
         self.counter = CounterSink()
         self.bus.subscribe(self.counter)
         self.bus.subscribe(self._journal_sink)
+        # The job span tree, fed in journal order (the deterministic-plane
+        # twin of the committed event journal).  Lease lifecycle stamps
+        # (timing plane) are applied by the coordinator's lease/complete/
+        # reap paths; the root's wall-clock extent is stamped manually so
+        # the lease *children* stay untimed on the coordinator side — the
+        # worker's own clocked tree rides in the shard payload instead.
+        self.spans = ServiceSpanAssembler()
+        self.spans.root.start = clock()
+        self._committing: Optional[tuple] = None
+        self.bus.subscribe(self._span_sink)
         self.auditor = ProbeEconomyAuditor(self.bus)
         self.bus.subscribe(self.auditor)
 
+    def _span_sink(self, event) -> None:
+        if self._committing is not None:
+            self.spans.feed_event(event, *self._committing)
+
     def _journal_sink(self, event) -> None:
         payload = event_to_dict(event)
+        if self._committing is not None:
+            shard_index, attempt = self._committing
+            payload[SHARD_KEY] = shard_index
+            payload[ATTEMPT_KEY] = attempt
         self.committed_events.append(payload)
         if self.events_path is None:
             return
@@ -176,9 +205,22 @@ class _JobRuntime:
         self._events_fp.write("\n")
 
     def commit(self, shard_index: int, payloads: Sequence[Dict]) -> None:
-        """Feed committed events through the pipeline, in stream order."""
+        """Feed committed events through the pipeline, in stream order.
+
+        ``_committing`` carries each payload's lease annotation through
+        the dispatch: the journal sink re-attaches it to the record it
+        writes and the span sink demuxes on it — including for events the
+        *coordinator* originates mid-dispatch (the auditor's nested
+        :class:`~repro.events.OverheadViolation` re-emits), which inherit
+        the annotation of the committed event that triggered them.
+        """
         for payload in payloads:
-            self.bus.emit(event_from_dict(payload))
+            self._committing = (payload.get(SHARD_KEY, shard_index),
+                                payload.get(ATTEMPT_KEY, 1))
+            try:
+                self.bus.emit(event_from_dict(payload))
+            finally:
+                self._committing = None
         if self._events_fp is not None:
             self._events_fp.flush()
 
@@ -256,6 +298,57 @@ class Coordinator:
         with self._lock:
             return self._results[job_id]
 
+    def health_registry(self) -> MetricsRegistry:
+        """Fleet health telemetry as a Prometheus-renderable registry.
+
+        A point-in-time operational surface, rebuilt per call: job counts
+        by state, queue depth, pending shards per running job, active
+        lease count, and per-lease age / heartbeat lag (the reap
+        predictor: a lag approaching ``heartbeat_timeout`` is a worker
+        about to be declared dead).  Operational, not archival — nothing
+        here participates in the replay-parity contract.
+        """
+        registry = MetricsRegistry()
+        registry.describe("service_jobs", "Jobs by lifecycle state")
+        registry.describe("service_queue_depth",
+                          "Jobs accepted but not yet activated")
+        registry.describe("service_shards_pending",
+                          "Shards awaiting a lease, per running job")
+        registry.describe("service_leases_active",
+                          "Shard leases currently held by workers")
+        registry.describe("service_lease_age_seconds",
+                          "Seconds since each active lease was granted")
+        registry.describe("service_heartbeat_lag_seconds",
+                          "Seconds since each active lease last heartbeat")
+        now = self.clock()
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self.queue.jobs.values():
+                counts[job.state.value] = counts.get(job.state.value, 0) + 1
+            for state in JobState:
+                registry.set_gauge("service_jobs",
+                                   counts.get(state.value, 0),
+                                   state=state.value)
+            registry.set_gauge("service_queue_depth",
+                               len(self.queue.queued()))
+            active = 0
+            for job_id, runtime in self._runtimes.items():
+                if runtime.job.state is JobState.RUNNING:
+                    registry.set_gauge("service_shards_pending",
+                                       len(runtime.pending), job=job_id)
+                for lease in runtime.leases.values():
+                    active += 1
+                    labels = {"job": job_id,
+                              "shard": str(lease.shard_index)}
+                    registry.set_gauge("service_lease_age_seconds",
+                                       max(0.0, now - lease.leased_at),
+                                       **labels)
+                    registry.set_gauge("service_heartbeat_lag_seconds",
+                                       max(0.0, now - lease.last_heartbeat),
+                                       **labels)
+            registry.set_gauge("service_leases_active", active)
+        return registry
+
     # -- the worker-facing API -------------------------------------------
 
     def lease(self, worker_id: str) -> Optional[ShardTask]:
@@ -281,6 +374,8 @@ class Coordinator:
                 last_heartbeat=now,
             )
             runtime.uncommitted[shard_index] = []
+            runtime.spans.stamp(shard_index, runtime.attempts[shard_index],
+                                start=now)
             return ShardTask(
                 job_id=job.job_id,
                 shard_index=shard_index,
@@ -319,7 +414,10 @@ class Coordinator:
             lease.last_heartbeat = self.clock()
             runtime = self._runtimes[job_id]
             buffer = runtime.uncommitted.setdefault(shard_index, [])
-            buffer.extend(events)
+            # Annotate at intake: every record carries the lease that
+            # produced it into the commit log (and the span assembler).
+            buffer.extend({**payload, SHARD_KEY: shard_index,
+                           ATTEMPT_KEY: attempt} for payload in events)
             if metrics is not None:
                 runtime.live_snapshots[shard_index] = metrics
             cut = _last_checkpoint_marker(buffer)
@@ -336,6 +434,7 @@ class Coordinator:
             del runtime.leases[shard_index]
             tail = runtime.uncommitted.pop(shard_index, [])
             runtime.commit(shard_index, tail)
+            runtime.spans.stamp(shard_index, attempt, end=self.clock())
             runtime.payloads[shard_index] = payload
             runtime.outcomes[shard_index] = outcome_from_payload(
                 shard_index, runtime.slices[shard_index], payload,
@@ -355,6 +454,7 @@ class Coordinator:
             runtime = self._runtimes[job_id]
             del runtime.leases[shard_index]
             runtime.uncommitted.pop(shard_index, None)
+            runtime.spans.stamp(shard_index, attempt, end=self.clock())
             self._requeue_or_fail(runtime, shard_index, error)
 
     def reap(self, now: Optional[float] = None) -> List[ShardLease]:
@@ -378,6 +478,7 @@ class Coordinator:
                     # never reached a checkpoint, so the re-leased run
                     # re-executes (and re-streams) those targets.
                     runtime.uncommitted.pop(shard_index, None)
+                    runtime.spans.stamp(shard_index, lease.attempt, end=now)
                     self._requeue_or_fail(
                         runtime, shard_index,
                         f"worker {lease.worker_id!r} missed heartbeats "
@@ -414,7 +515,7 @@ class Coordinator:
         if self.work_dir is not None:
             events_path = os.path.join(self.work_dir, job.job_id,
                                        "events.jsonl")
-        runtime = _JobRuntime(job, slices, events_path)
+        runtime = _JobRuntime(job, slices, events_path, clock=self.clock)
         self._runtimes[job.job_id] = runtime
         self.queue.transition(job.job_id, JobState.RUNNING)
         return runtime
@@ -469,6 +570,8 @@ class Coordinator:
             job.spec.vantage, job.targets, outcomes)
         runtime.close()
         counts = dict(runtime.counter.counts)
+        spans_root = runtime.spans.finish()
+        spans_root.end = self.clock()
         self._results[job.job_id] = JobResult(
             job=job,
             archive=archive,
@@ -479,6 +582,10 @@ class Coordinator:
             attempts=dict(runtime.attempts),
             event_counts=counts,
             events_path=runtime.events_path,
+            spans=spans_root,
+            worker_spans={outcome.shard_index: outcome.spans
+                          for outcome in outcomes
+                          if outcome.spans is not None},
         )
         self.queue.transition(job.job_id, JobState.DONE)
 

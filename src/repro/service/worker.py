@@ -64,6 +64,10 @@ class StreamingEventSink:
     introspection (``tracenet jobs`` while a survey runs).
     """
 
+    #: The flush callback raises StaleLeaseError to fence a dead worker —
+    #: control flow, not a sink defect; the bus must not swallow it.
+    propagate_errors = True
+
     def __init__(self, flush: Callable[[List[Dict], Dict], None],
                  every: int = DEFAULT_STREAM_EVERY):
         if every < 1:
@@ -163,7 +167,11 @@ class VantageWorker:
                 seed_subnets=task.seed_subnets,
                 # Violations are judged once, centrally, over the job's
                 # committed event stream.
-                audit=False)
+                audit=False,
+                # Ship the worker's clocked span tree in the payload; the
+                # deterministic tree is the coordinator's, from the
+                # committed journal.
+                spans=True)
         except (StaleLeaseError, WorkerCrashed):
             raise
         except Exception as exc:
@@ -181,11 +189,17 @@ class VantageWorker:
             if isinstance(event, (SurveyProgressed, CheckpointWritten)):
                 self.coordinator.heartbeat(self.worker_id, task.job_id,
                                            task.shard_index, task.attempt)
+        # StaleLeaseError from a fenced heartbeat is control flow, not a
+        # sink defect — it must reach the worker loop.
+        sink.propagate_errors = True
         return sink
 
 
 class _CrashAfter:
     """Event sink that kills the worker after N completed targets."""
+
+    #: The injected WorkerCrashed must escape the bus's sink isolation.
+    propagate_errors = True
 
     def __init__(self, targets: int):
         self.targets = targets
@@ -215,8 +229,15 @@ class ServiceFleet:
         self.workers = list(workers)
 
     def run(self, reap_interval: float = 0.05,
-            timeout: float = 300.0) -> None:
-        """Drive the fleet until every job reaches a terminal state."""
+            timeout: float = 300.0,
+            on_tick: Optional[Callable[[], None]] = None) -> None:
+        """Drive the fleet until every job reaches a terminal state.
+
+        ``on_tick`` is invoked once per reap-loop iteration (and once
+        after the loop exits) — the hook ``tracenet serve --health-out``
+        uses to publish the coordinator's health exposition while the
+        fleet runs.
+        """
         threads = [
             threading.Thread(target=worker.run, daemon=True,
                              name=f"vantage-{worker.worker_id}")
@@ -228,6 +249,8 @@ class ServiceFleet:
         try:
             while self.coordinator.unfinished():
                 self.coordinator.reap()
+                if on_tick is not None:
+                    on_tick()
                 if not any(thread.is_alive() for thread in threads):
                     self.coordinator.abort_unfinished(
                         "every worker exited with work remaining")
@@ -240,6 +263,8 @@ class ServiceFleet:
         finally:
             for thread in threads:
                 thread.join(timeout=5.0)
+            if on_tick is not None:
+                on_tick()
 
 
 __all__ = [

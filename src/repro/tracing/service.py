@@ -1,0 +1,122 @@
+"""Span stitching across the service seam: job → shard lease → trace.
+
+The coordinator annotates every *committed* journal record with the shard
+index and lease attempt that produced it (``event_from_dict`` drops the
+extra keys on metrics replay, so the annotation is parity-free).  This
+module demuxes that annotated stream into one :class:`SpanBuilder` per
+``(shard, attempt)`` — a **lease span** — under a single job root:
+
+* the coordinator feeds its assembler at commit time (live);
+* ``tracenet spans <events.jsonl>`` feeds an identical assembler from the
+  journal file (offline);
+
+and because the committed journal *is* the commit-order event sequence,
+both derive bit-identical deterministic trees — including across a killed
+worker, where the crashed attempt's lease span holds exactly its
+checkpointed (committed) prefix and the re-lease attempt holds the rest.
+
+The timing plane stays quarantined: :meth:`ServiceSpanAssembler.stamp`
+lets the coordinator attach lease-clock start/end marks (and the worker's
+own timed span tree rides in the shard payload), none of which appear in
+the deterministic serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..events import SessionEvent, event_from_dict
+from .spans import Span, SpanBuilder
+
+#: Journal-record annotation keys added by the coordinator's commit path.
+SHARD_KEY = "shard"
+ATTEMPT_KEY = "attempt"
+
+
+def is_service_payload(payload: Dict) -> bool:
+    """True for a journal record annotated with its shard lease."""
+    return SHARD_KEY in payload and "event" in payload
+
+
+class ServiceSpanAssembler:
+    """Builds the job span tree from shard-annotated committed events.
+
+    Lease spans appear in first-commit order (deterministic: commit order
+    equals journal order), keyed ``(shard, attempt)``.  ``clock`` enables
+    coordinator-side lease timing on live assembly; :meth:`stamp` records
+    explicit lease lifecycle times (grant/completion) that override the
+    activity-based stamps.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock
+        self.root = Span(kind="job", name="job")
+        if clock is not None:
+            self.root.start = clock()
+        self._builders: Dict[Tuple[int, int], SpanBuilder] = {}
+        self._stamps: Dict[Tuple[int, int], Dict[str, float]] = {}
+
+    def _builder(self, shard: int, attempt: int) -> SpanBuilder:
+        key = (shard, attempt)
+        builder = self._builders.get(key)
+        if builder is None:
+            builder = SpanBuilder(
+                clock=self.clock, root_kind="lease",
+                root_name=f"shard-{shard}-attempt-{attempt}",
+                meta={"shard": shard, "attempt": attempt})
+            self.root.children.append(builder.root)
+            stamp = self._stamps.get(key)
+            if stamp and "start" in stamp:
+                builder.root.start = stamp["start"]
+            self._builders[key] = builder
+        return builder
+
+    def feed(self, payload: Dict) -> None:
+        """One annotated journal record (live commit or offline line)."""
+        shard = payload.get(SHARD_KEY, -1)
+        attempt = payload.get(ATTEMPT_KEY, 1)
+        self.feed_event(event_from_dict(payload), shard, attempt)
+
+    def feed_event(self, event: SessionEvent, shard: int,
+                   attempt: int) -> None:
+        """Typed-event form used by the coordinator's live pipeline."""
+        self._builder(shard, attempt)(event)
+
+    def stamp(self, shard: int, attempt: int,
+              start: Optional[float] = None,
+              end: Optional[float] = None) -> None:
+        """Record lease lifecycle times (timing plane only)."""
+        stamp = self._stamps.setdefault((shard, attempt), {})
+        if start is not None:
+            stamp["start"] = start
+        if end is not None:
+            stamp["end"] = end
+        builder = self._builders.get((shard, attempt))
+        if builder is not None:
+            if start is not None:
+                builder.root.start = start
+            if end is not None:
+                builder.root.end = end
+
+    def finish(self) -> Span:
+        """Seal every lease builder and return the job root."""
+        for key in sorted(self._builders):
+            builder = self._builders[key]
+            builder.finish()
+            stamp = self._stamps.get(key)
+            if stamp:
+                if "start" in stamp:
+                    builder.root.start = stamp["start"]
+                if "end" in stamp:
+                    builder.root.end = stamp["end"]
+        if self.clock is not None:
+            self.root.end = self.clock()
+        return self.root
+
+
+def service_span_tree(payloads, clock=None) -> Span:
+    """Assemble a job tree from annotated journal records (offline)."""
+    assembler = ServiceSpanAssembler(clock=clock)
+    for payload in payloads:
+        assembler.feed(payload)
+    return assembler.finish()

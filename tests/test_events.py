@@ -300,3 +300,80 @@ class TestSurveyRunnerEvents:
         assert second.probes_sent > 0
         assert (first.probes_sent + second.probes_sent
                 == tool.prober.stats.sent)
+
+
+class TestSinkFailureIsolation:
+    def test_raising_sink_is_counted_and_skipped(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        bus.emit(TraceStarted(destination=1))
+        bus.emit(TraceStarted(destination=2))
+        # Later sinks keep receiving every event; the failure is tallied.
+        assert [e.destination for e in seen] == [1, 2]
+        assert bus.sink_errors["bad"] == 2
+        assert bus.total_sink_errors == 2
+        name, detail = bus.last_sink_error
+        assert name == "bad"
+        assert detail == "RuntimeError: boom"
+
+    def test_class_sinks_are_counted_by_type_name(self):
+        class Exploding:
+            def __call__(self, event):
+                raise ValueError("nope")
+
+        bus = EventBus()
+        bus.subscribe(Exploding())
+        bus.emit(TraceStarted(destination=1))
+        assert bus.sink_errors == {"Exploding": 1}
+
+    def test_propagate_errors_sinks_still_raise(self):
+        # Service sinks use exceptions as control flow (StaleLeaseError
+        # fencing, injected WorkerCrashed): the bus must not swallow them.
+        class Fencing:
+            propagate_errors = True
+
+            def __call__(self, event):
+                raise ValueError("fenced")
+
+        bus = EventBus()
+        bus.subscribe(Fencing())
+        with pytest.raises(ValueError, match="fenced"):
+            bus.emit(TraceStarted(destination=1))
+        assert bus.total_sink_errors == 0
+
+    def test_tally_path_is_isolated_too(self):
+        class BadCounter(CounterSink):
+            def tally(self, cls, count=1):
+                raise RuntimeError("tally boom")
+
+        bus = EventBus()
+        bus.subscribe(BadCounter())
+        good = bus.subscribe(CounterSink())
+        bus.tally(ProbeSent, 3)
+        bus.emit(_probe_sent())
+        assert good.counts["ProbeSent"] == 4
+        assert bus.sink_errors["BadCounter"] == 2
+
+    def test_collection_survives_a_raising_sink(self, lan_engine,
+                                                lan_network):
+        # End to end: a broken observer must not abort the survey, and the
+        # surviving sinks must see the identical stream.
+        tool = TraceNET(lan_engine, "vantage")
+
+        def flaky(event):
+            raise OSError("observer disk full")
+
+        tool.events.subscribe(flaky)
+        counter = tool.events.subscribe(CounterSink())
+        destination = min(
+            min(r.addresses) for r in lan_network.topology.routers.values())
+        result = tool.trace(destination)
+        assert result.hops
+        assert counter.counts["TraceFinished"] == 1
+        assert tool.events.total_sink_errors > 0

@@ -2,12 +2,14 @@
 the ProbeTransport seam.
 
 An import-linter-equivalent check: modules in ``repro.core``,
-``repro.baselines``, ``repro.probing`` and ``repro.metrics`` must not
-import ``repro.netsim.engine`` — the simulator is an implementation detail
-behind :class:`repro.transport.SimulatorTransport`, and any direct import
-would quietly re-couple the collector layers to it.  For metrics the seal
-is what keeps registries backend-agnostic: engine counters may only arrive
-via the duck-typed ``backend_metrics()`` transport hook.
+``repro.baselines``, ``repro.probing``, ``repro.metrics`` and
+``repro.tracing`` must not import ``repro.netsim.engine`` — the simulator
+is an implementation detail behind
+:class:`repro.transport.SimulatorTransport`, and any direct import would
+quietly re-couple the collector layers to it.  For metrics and tracing
+the seal is what keeps registries and span trees backend-agnostic:
+engine counters may only arrive via the duck-typed ``backend_metrics()``
+transport hook, and span trees only from the session-event stream.
 """
 
 import ast
@@ -17,7 +19,7 @@ import repro
 
 SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
 
-SEALED_PACKAGES = ("core", "baselines", "probing", "metrics")
+SEALED_PACKAGES = ("core", "baselines", "probing", "metrics", "tracing")
 
 FORBIDDEN_MODULE = "repro.netsim.engine"
 

@@ -378,3 +378,92 @@ class TestBackendMetrics:
         assert not result.reached
         assert transport.blackholed > 0
         assert transport.injected_drops == 0
+
+
+class TestPrometheusEscaping:
+    def test_label_values_escape_backslash_quote_newline(self):
+        # The 0.0.4 text format requires all three escapes in label
+        # values; an unescaped quote or newline corrupts the exposition.
+        registry = MetricsRegistry()
+        registry.inc("weird_total", rule='H2 "quoted" \\ two\nlines')
+        text = render_prometheus(registry)
+        assert (r'tracenet_weird_total{rule="H2 \"quoted\" \\ two\nlines"}'
+                in text)
+        # No raw newline survives inside any series line.
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_help_text_escapes_backslash_and_newline_only(self):
+        # HELP escapes \ and \n but keeps quotes raw per the spec.
+        registry = MetricsRegistry()
+        registry.describe("a_total", 'the "7|S| + 7" bound\nsecond \\ line')
+        registry.inc("a_total")
+        text = render_prometheus(registry)
+        assert ('# HELP tracenet_a_total the "7|S| + 7" '
+                'bound\\nsecond \\\\ line') in text
+
+
+class TestTimingQuarantine:
+    def test_nested_time_spans_accumulate_independently(self):
+        registry = MetricsRegistry()
+        with registry.time("outer"):
+            with registry.time("inner"):
+                pass
+            with registry.time("inner"):
+                pass
+        assert registry.timings["outer"]["count"] == 1
+        assert registry.timings["inner"]["count"] == 2
+        assert registry.timings["outer"]["seconds"] >= \
+            registry.timings["inner"]["seconds"]
+
+    def test_reentrant_same_name_spans_accumulate(self):
+        registry = MetricsRegistry()
+        with registry.time("span"):
+            with registry.time("span"):
+                pass
+        assert registry.timings["span"]["count"] == 2
+        assert registry.timings["span"]["seconds"] >= 0.0
+
+    def test_timings_never_leak_into_snapshot(self):
+        # The deterministic snapshot is the replay-parity contract; any
+        # wall-clock value inside it would break record -> replay equality.
+        registry = MetricsRegistry()
+        registry.inc("probes_sent_total", 3)
+        before = json.dumps(registry.snapshot(), sort_keys=True)
+        with registry.time("collection_seconds"):
+            with registry.time("collection_seconds"):
+                pass
+        assert json.dumps(registry.snapshot(), sort_keys=True) == before
+        full = registry.full_snapshot()
+        assert full["timings"]["collection_seconds"]["count"] == 2
+        assert "timings" not in registry.snapshot()
+
+    def test_exceptions_still_close_the_span(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.time("span"):
+                raise RuntimeError("boom")
+        assert registry.timings["span"]["count"] == 1
+
+
+class TestBusMetricsCapture:
+    def test_sink_errors_land_in_backend_scope(self):
+        from repro.metrics import collect_bus_metrics
+
+        bus = EventBus()
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        bus.subscribe(lambda e: None)
+        from repro.events import TraceStarted
+
+        bus.emit(TraceStarted(destination=1))
+        registry = MetricsRegistry()
+        collect_bus_metrics(registry.backend, bus)
+        assert registry.backend.value("event_sink_errors_total") == 1
+        assert registry.backend.value("event_sink_errors", sink="bad") == 1
+        # Backend scope only: the deterministic snapshot stays clean.
+        assert "event_sink_errors_total" not in json.dumps(
+            registry.snapshot())

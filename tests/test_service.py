@@ -229,7 +229,13 @@ class TestLeaseProtocol:
                            task.attempt, [probe, marker, probe])
         runtime = coordinator._runtimes[task.job_id]
         assert len(runtime.committed_events) == 2    # probe + marker
-        assert runtime.uncommitted[task.shard_index] == [probe]
+        # Intake annotates every record with the lease that produced it.
+        annotated = {**probe, "shard": task.shard_index,
+                     "attempt": task.attempt}
+        assert runtime.uncommitted[task.shard_index] == [annotated]
+        assert all(record["shard"] == task.shard_index
+                   and record["attempt"] == task.attempt
+                   for record in runtime.committed_events)
         # lease expiry discards the uncommitted tail
         clock.now += 10.0
         coordinator.reap()
