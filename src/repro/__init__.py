@@ -43,6 +43,7 @@ from .netsim import (
     ip,
 )
 from .probing import ProbeBudget, ProbeBudgetExceeded, Prober
+from .radar import RadarResult, RadarRound, RadarRunner, run_radar
 from .runner import SurveyProgress, SurveyRunner
 from .transport import (
     FaultInjectingTransport,
@@ -72,6 +73,9 @@ __all__ = [
     "Prober",
     "ProbeTransport",
     "Protocol",
+    "RadarResult",
+    "RadarRound",
+    "RadarRunner",
     "RecordingTransport",
     "ReplayTransport",
     "SessionEvent",
@@ -89,4 +93,5 @@ __all__ = [
     "TransportCapabilities",
     "format_ip",
     "ip",
+    "run_radar",
 ]

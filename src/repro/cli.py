@@ -10,7 +10,12 @@ names a scenario topology to probe:
   and similarity rates;
 * ``tracenet crossval`` — the Section 4.2 experiment: three vantages over
   the four-ISP internet (Figures 6–9);
-* ``tracenet protocols`` — Table 3: ICMP vs UDP vs TCP.
+* ``tracenet protocols`` — Table 3: ICMP vs UDP vs TCP;
+* ``tracenet radar --network geant --churn-count 4`` — continuous
+  re-surveys over a network mutating under the collector, incremental
+  dirty-prefix re-probing, per-round archive diffs;
+* ``tracenet diff old.json new.json`` — the offline archive diff (bit
+  identical to the radar's in-run diffs).
 """
 
 from __future__ import annotations
@@ -165,6 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-shard probe batching window")
     submit.add_argument("--stop-sets", action="store_true",
                         help="enable Doubletree stop sets per shard")
+    submit.add_argument("--radar", action="store_true",
+                        help="queue a radar job: continuous re-surveys "
+                             "(runs as one shard; --shards is ignored)")
+    submit.add_argument("--rounds", type=int, default=3,
+                        help="radar rounds (with --radar)")
+    submit.add_argument("--churn-count", type=int, default=4, metavar="N",
+                        help="radar mutation count (0 = no churn)")
+    submit.add_argument("--churn-seed", type=int, default=7)
+    submit.add_argument("--churn-start", type=int, default=200,
+                        metavar="PROBES")
+    submit.add_argument("--churn-interval", type=int, default=400,
+                        metavar="PROBES")
+    submit.add_argument("--drop-rate", type=float, default=0.0,
+                        help="radar fault-injection loss rate")
+    submit.add_argument("--fault-seed", type=int, default=0)
     submit.set_defaults(handler=cmd_submit)
 
     serve = subparsers.add_parser(
@@ -193,6 +213,51 @@ def build_parser() -> argparse.ArgumentParser:
                             "lease ages, heartbeat lag) as Prometheus text "
                             "to this file on every fleet tick")
     serve.set_defaults(handler=cmd_serve)
+
+    radar = subparsers.add_parser(
+        "radar", help="continuous re-surveys over a churning network with "
+                      "incremental dirty-prefix re-probing")
+    radar.add_argument("--network", choices=("internet2", "geant"),
+                       default="geant")
+    radar.add_argument("--seed", type=int, default=7)
+    radar.add_argument("--rounds", type=int, default=3,
+                       help="total rounds including the initial full survey")
+    radar.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="survey only the first N targets")
+    radar.add_argument("--full", action="store_true",
+                       help="re-probe every target every round instead of "
+                            "only the dirty prefixes")
+    radar.add_argument("--churn-count", type=int, default=4, metavar="N",
+                       help="mutations in the seeded schedule (0 disables "
+                            "churn entirely)")
+    radar.add_argument("--churn-seed", type=int, default=7)
+    radar.add_argument("--churn-start", type=int, default=200,
+                       metavar="PROBES",
+                       help="probe count at which the first mutation fires")
+    radar.add_argument("--churn-interval", type=int, default=400,
+                       metavar="PROBES", help="probes between mutations")
+    radar.add_argument("--drop-rate", type=float, default=0.0,
+                       help="seeded uniform response loss on the live path")
+    radar.add_argument("--fault-seed", type=int, default=0)
+    radar.add_argument("--out", default=None, metavar="DIR",
+                       help="save per-round archives, diffs and the radar "
+                            "summary there")
+    radar.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the radar summary as JSON")
+    _add_transport_options(radar)
+    radar.set_defaults(handler=cmd_radar)
+
+    diff_cmd = subparsers.add_parser(
+        "diff", help="diff two collection archives offline (radar rounds, "
+                     "checkpoints, service results)")
+    diff_cmd.add_argument("old", metavar="OLD", help="earlier archive JSON")
+    diff_cmd.add_argument("new", metavar="NEW", help="later archive JSON")
+    diff_cmd.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the full diff as JSON instead of the "
+                               "summary paragraph")
+    diff_cmd.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the diff JSON there")
+    diff_cmd.set_defaults(handler=cmd_diff)
 
     jobs_cmd = subparsers.add_parser(
         "jobs", help="list the jobs in a service queue")
@@ -670,6 +735,18 @@ def cmd_submit(args) -> int:
         network.topology, network.policy, "utdallas",
         batch_window=max(0, args.batch_window),
         use_stop_sets=args.stop_sets)
+    radar = None
+    if args.radar:
+        radar = {
+            "rounds": max(1, args.rounds),
+            "churn_count": max(0, args.churn_count),
+            "churn_seed": args.churn_seed,
+            "churn_start": args.churn_start,
+            "churn_interval": args.churn_interval,
+            "drop_rate": args.drop_rate,
+            "fault_seed": args.fault_seed,
+            "incremental": True,
+        }
     queue = _service_queue(args.queue)
     job = queue.submit(SurveyJob(
         job_id=queue.next_job_id(),
@@ -680,9 +757,15 @@ def cmd_submit(args) -> int:
         tenant=args.tenant,
         max_attempts=max(1, args.max_attempts),
         metadata={"network": args.network, "seed": args.seed},
+        radar=radar,
     ))
-    print(f"queued {job.job_id}: {args.network} seed {args.seed}, "
-          f"{len(target_list)} targets over {job.shards} shard(s)")
+    if radar is not None:
+        print(f"queued {job.job_id}: radar over {args.network} "
+              f"seed {args.seed}, {len(target_list)} targets, "
+              f"{radar['rounds']} rounds, churn {radar['churn_count']}")
+    else:
+        print(f"queued {job.job_id}: {args.network} seed {args.seed}, "
+              f"{len(target_list)} targets over {job.shards} shard(s)")
     return 0
 
 
@@ -757,10 +840,17 @@ def cmd_serve(args) -> int:
             chrome_path = os.path.join(job_dir, "trace.chrome.json")
             write_chrome_trace(chrome_path, chrome_trace_for_service(
                 result.spans, result.worker_spans))
+        radar_path = None
+        if result.radar is not None:
+            radar_path = os.path.join(job_dir, "radar.json")
+            with open(radar_path, "w", encoding="utf-8") as fp:
+                json.dump(result.radar, fp, indent=1, sort_keys=True)
+                fp.write("\n")
         result_path = os.path.join(job_dir, "result.json")
         with open(result_path, "w", encoding="utf-8") as fp:
             json.dump({
                 "job": job.to_dict(),
+                "radar_path": radar_path,
                 "attempts": {str(k): v
                              for k, v in sorted(result.attempts.items())},
                 "stats": dataclasses.asdict(result.stats),
@@ -779,6 +869,169 @@ def cmd_serve(args) -> int:
               f"{shard_attempt_summary(result.attempts)} "
               f"-> {result_path}")
     return 1 if failures else 0
+
+
+def cmd_radar(args) -> int:
+    import os
+
+    from .events import EventBus
+    from .mapping import save_archive
+    from .netsim import MutationSchedule, NetworkDynamics
+    from .radar import RadarRunner
+    from .transport import FaultInjectingTransport, MutatingTransport
+
+    if args.record and args.replay:
+        print("--record and --replay are mutually exclusive", file=sys.stderr)
+        return 2
+    module = internet2 if args.network == "internet2" else geant
+    network = module.build(seed=args.seed)
+    target_list = module.targets(network, seed=args.seed)
+    if args.limit is not None:
+        target_list = target_list[:max(0, args.limit)]
+    if not target_list:
+        print("no targets to survey (check --limit)", file=sys.stderr)
+        return 2
+
+    # The schedule derives from (topology, seed) alone, so a replay run
+    # regenerates the identical mutation stream without an engine.
+    schedule = None
+    if args.churn_count > 0:
+        schedule = MutationSchedule.generate(
+            network.topology, seed=args.churn_seed,
+            start=max(1, args.churn_start),
+            interval=max(1, args.churn_interval),
+            count=args.churn_count)
+
+    bus = EventBus()
+    if args.replay:
+        transport = ReplayTransport(args.replay)
+        if schedule is not None:
+            transport = MutatingTransport(transport, schedule,
+                                          dynamics=None, events=bus)
+        mode = "replay"
+    else:
+        engine = Engine(network.topology, policy=network.policy)
+        transport = SimulatorTransport(engine)
+        if args.drop_rate > 0.0:
+            transport = FaultInjectingTransport(transport,
+                                                drop_rate=args.drop_rate,
+                                                seed=args.fault_seed)
+        if schedule is not None:
+            dynamics = NetworkDynamics(engine, schedule)
+            transport = MutatingTransport(transport, schedule,
+                                          dynamics=dynamics, events=bus)
+        mode = "live"
+        if args.record:
+            metadata = {
+                "network": args.network,
+                "seed": args.seed,
+                "vantage": "utdallas",
+                "radar": {
+                    "rounds": args.rounds,
+                    "churn_seed": args.churn_seed,
+                    "churn_count": args.churn_count,
+                    "churn_start": args.churn_start,
+                    "churn_interval": args.churn_interval,
+                    "drop_rate": args.drop_rate,
+                    "fault_seed": args.fault_seed,
+                    "incremental": not args.full,
+                },
+            }
+            options = _collector_options(args)
+            if options:
+                metadata["collector"] = options
+            transport = RecordingTransport(transport, args.record,
+                                           metadata=metadata)
+            mode = "live, recording"
+
+    tool = TraceNET(transport, "utdallas", events=bus,
+                    **_collector_kwargs(_collector_options(args)))
+    event_sink = None
+    if args.events:
+        event_sink = bus.subscribe(JsonlEventSink(args.events))
+    tracer = _maybe_tracer(args)
+    if tracer is not None:
+        bus.subscribe(tracer)
+    registry = None
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        instrument(bus, registry=registry)
+    try:
+        with _maybe_time(registry, "collection_seconds"):
+            outcome = RadarRunner(tool, target_list,
+                                  rounds=max(1, args.rounds),
+                                  incremental=not args.full).run()
+        if registry is not None:
+            collect_backend_metrics(registry.backend, transport)
+    finally:
+        if event_sink is not None:
+            event_sink.close()
+        transport.close()
+    if registry is not None:
+        _write_metrics(registry, args.metrics_out, args.metrics_format)
+    _write_spans(tracer, args)
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for rnd in outcome.rounds:
+            save_archive(os.path.join(args.out, f"round-{rnd.index}.json"),
+                         rnd.archive)
+            if rnd.diff is not None:
+                diff_path = os.path.join(
+                    args.out, f"diff-{rnd.index - 1}-{rnd.index}.json")
+                with open(diff_path, "w", encoding="utf-8") as fp:
+                    json.dump(rnd.diff.to_dict(), fp, indent=1,
+                              sort_keys=True)
+                    fp.write("\n")
+        summary_path = os.path.join(args.out, "radar.json")
+        with open(summary_path, "w", encoding="utf-8") as fp:
+            json.dump(outcome.to_dict(), fp, indent=1, sort_keys=True)
+            fp.write("\n")
+        print(f"saved {len(outcome.rounds)} round archive(s) to {args.out}",
+              file=sys.stderr)
+
+    if args.as_json:
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"radar over {args.network} (seed {args.seed}): "
+          f"{len(target_list)} targets, {len(outcome.rounds)} rounds, "
+          f"{'churn ' + str(args.churn_count) if schedule else 'no churn'} "
+          f"({mode})")
+    for rnd in outcome.rounds:
+        degraded = sum(1 for t in rnd.archive.traces if t.degraded)
+        line = (f"round {rnd.index}: "
+                f"{'full survey' if rnd.full else 'incremental'}, "
+                f"probed {len(rnd.probed_targets)}/{len(target_list)}, "
+                f"{len(rnd.archive.subnets)} subnets, "
+                f"{rnd.mutations_seen} mutation(s) absorbed"
+                + (f", {degraded} degraded" if degraded else ""))
+        print(line)
+        if rnd.diff is not None and not rnd.diff.is_empty:
+            for text in rnd.diff.describe().splitlines():
+                print(f"    {text}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    from .mapping import diff_archives, load_archive
+
+    try:
+        old = load_archive(args.old)
+        new = load_archive(args.new)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"diff failed: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_archives(old, new)
+    payload = json.dumps(diff.to_dict(), indent=1, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            fp.write(payload)
+        print(f"wrote diff to {args.out}", file=sys.stderr)
+    if args.as_json:
+        sys.stdout.write(payload)
+    else:
+        print(diff.describe())
+    return 0
 
 
 def cmd_jobs(args) -> int:

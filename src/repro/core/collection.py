@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..events import HopObserved, ProbeSuppressed
+from ..events import HopObserved, ProbeSuppressed, TraceInconsistent
 from ..netsim.packet import Response
 from ..probing.prober import Prober
 from ..probing.stopset import StopSet
@@ -113,12 +113,18 @@ class HopPipeline:
     """
 
     def __init__(self, prober: Prober, destination: int, max_hops: int,
-                 window: int = 1, stop_set: Optional[StopSet] = None):
+                 window: int = 1, stop_set: Optional[StopSet] = None,
+                 churn=None):
         self.prober = prober
         self.destination = destination
         self.max_hops = max_hops
         self.window = max(1, window)
         self.stop_set = stop_set
+        self.churn = churn
+        #: Hop contradictions detected against pre-mutation state.
+        self.inconsistencies = 0
+        self._epoch = churn.mutation_epoch if churn is not None else 0
+        self._stale: Dict[int, HopObservation] = {}
         self._buffer: Dict[int, HopObservation] = {}
         self._served: Dict[int, HopObservation] = {}
         if stop_set is not None:
@@ -164,8 +170,68 @@ class HopPipeline:
         # ladder emits it at consumption, like any buffered observation).
         self._buffer[verify_ttl] = observation
 
+    def _check_epoch(self) -> None:
+        """Quarantine prepared observations when the network mutated.
+
+        Anything buffered (speculative window) or served-from-memory (stop
+        set) before the mutation describes the *previous* network.  Those
+        observations move to the stale table: when the ladder reaches their
+        TTL it re-probes live — cache bypassed, after a retry-policy beat
+        of backoff — and a differing answer is reported as a
+        :class:`~repro.events.TraceInconsistent` contradiction.
+        """
+        if self.churn is None:
+            return
+        epoch = self.churn.mutation_epoch
+        if epoch == self._epoch:
+            return
+        self._epoch = epoch
+        self._stale.update(self._served)
+        self._stale.update(self._buffer)
+        self._served.clear()
+        self._buffer.clear()
+
+    def _revalidate(self, ttl: int, stale: HopObservation) -> HopObservation:
+        """Re-probe a quarantined hop and report any contradiction."""
+        prober = self.prober
+        prober.backoff(prober.retry_policy.backoff_for(1))
+        response = prober.probe(self.destination, ttl, phase=PHASE_TRACE,
+                                refresh=True)
+        observation = classify_response(ttl, response)
+        if observation != stale:
+            self.inconsistencies += 1
+            events = prober.events
+            if events:
+                if events.wants(TraceInconsistent):
+                    events.emit(TraceInconsistent(
+                        destination=self.destination,
+                        ttl=ttl,
+                        expected=stale.address,
+                        observed=observation.address,
+                        reason="topology-mutated",
+                    ))
+                else:
+                    events.tally(TraceInconsistent)
+        return observation
+
     def hop(self, ttl: int) -> HopObservation:
         """The observation at ``ttl`` — suppressed, buffered, or probed."""
+        self._check_epoch()
+        stale = self._stale.pop(ttl, None)
+        if stale is not None:
+            observation = self._revalidate(ttl, stale)
+            events = self.prober.events
+            if events:
+                if events.wants(HopObserved):
+                    events.emit(HopObserved(
+                        destination=self.destination,
+                        ttl=ttl,
+                        kind=observation.kind.value,
+                        address=observation.address,
+                    ))
+                else:
+                    events.tally(HopObserved)
+            return observation
         served = self._served.pop(ttl, None)
         if served is not None:
             prober = self.prober

@@ -120,6 +120,16 @@ class TraceResult:
     hops: List[TraceHop] = field(default_factory=list)
     reached: bool = False
     probes_sent: int = 0
+    #: 1.0 for a trace collected against a quiescent network; lowered when
+    #: the topology mutated mid-trace or hop contradictions forced re-probes
+    #: (the radar degradation contract — see docs/ROBUSTNESS.md).
+    confidence: float = 1.0
+    #: True when any part of this trace may mix pre- and post-mutation
+    #: network state; such traces are kept (marked, never dropped) so the
+    #: archive stays auditable.
+    degraded: bool = False
+    #: Why the trace degraded ("topology-mutated", "hop-contradiction", ...).
+    degraded_reasons: List[str] = field(default_factory=list)
 
     @property
     def subnets(self) -> List[ObservedSubnet]:
@@ -160,8 +170,12 @@ class TraceResult:
         return "\n".join(lines)
 
     def to_dict(self) -> Dict:
-        """JSON-friendly serialization (CLI ``--json``)."""
-        return {
+        """JSON-friendly serialization (CLI ``--json``).
+
+        Degradation fields appear only on degraded traces, keeping
+        quiescent-network output byte-identical to pre-radar runs.
+        """
+        payload = {
             "vantage": self.vantage_host_id,
             "destination": format_ip(self.destination),
             "reached": self.reached,
@@ -187,3 +201,8 @@ class TraceResult:
                 for hop in self.hops
             ],
         }
+        if self.degraded:
+            payload["degraded"] = True
+            payload["confidence"] = self.confidence
+            payload["degraded_reasons"] = list(self.degraded_reasons)
+        return payload

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from ..events import EventBus, TraceFinished, TraceStarted
+from ..events import DegradedResult, EventBus, TraceFinished, TraceStarted
 from ..netsim.packet import Protocol
 from ..probing.budget import ProbeBudget
 from ..probing.prober import Prober
 from ..probing.stopset import StopSet
 from ..transport import as_transport
+from ..transport.churn import find_mutating
 from .collection import HopPipeline, collect_hop
 from .exploration import (
     DEFAULT_MIN_PREFIX_LENGTH,
@@ -94,6 +95,13 @@ class TraceNET:
         self.stop_set = stop_set
         self._subnets: List[ObservedSubnet] = []
         self._member_index: Dict[int, ObservedSubnet] = {}
+        # Churn awareness: when the transport chain contains a
+        # MutatingTransport, its fired-mutation counter is the staleness
+        # signal — identical live and replayed, so every decision derived
+        # from it replays byte for byte.
+        self._churn = find_mutating(self.transport)
+        self._synced_epoch = (self._churn.mutation_epoch
+                              if self._churn is not None else 0)
 
     @property
     def engine(self):
@@ -102,10 +110,29 @@ class TraceNET:
 
     # -- public API ------------------------------------------------------
 
+    def _sync_epoch(self) -> int:
+        """Absorb any mutations fired since the last trace.
+
+        The prober's response cache and the shared stop set both describe
+        the pre-mutation network; invalidating them here (once per observed
+        epoch change, O(1) for the stop set) is what keeps mid-survey churn
+        from silently corrupting later traces.  Returns the current epoch.
+        """
+        if self._churn is None:
+            return 0
+        epoch = self._churn.mutation_epoch
+        if epoch != self._synced_epoch:
+            self._synced_epoch = epoch
+            self.prober.clear_cache()
+            if self.stop_set is not None:
+                self.stop_set.advance_epoch()
+        return epoch
+
     def trace(self, destination: int) -> TraceResult:
         """Trace toward ``destination``, exploring each visited subnet."""
         if self.events:
             self.events.emit(TraceStarted(destination=destination))
+        epoch_at_start = self._sync_epoch()
         before = self.prober.stats_snapshot()
         result = TraceResult(vantage_host_id=self.vantage_host_id,
                              destination=destination)
@@ -116,7 +143,8 @@ class TraceNET:
         if self.batch_window >= 1 or self.stop_set is not None:
             pipeline = HopPipeline(self.prober, destination, self.max_hops,
                                    window=max(1, self.batch_window),
-                                   stop_set=self.stop_set)
+                                   stop_set=self.stop_set,
+                                   churn=self._churn)
 
         for ttl in range(1, self.max_hops + 1):
             if pipeline is not None:
@@ -152,7 +180,28 @@ class TraceNET:
                 break
             previous_address = address
 
-        if self.stop_set is not None and result.reached:
+        epoch_at_end = (self._churn.mutation_epoch
+                        if self._churn is not None else 0)
+        mutations_seen = epoch_at_end - epoch_at_start
+        contradictions = pipeline.inconsistencies if pipeline else 0
+        if mutations_seen or contradictions:
+            # The trace may mix pre- and post-mutation state: keep it, mark
+            # it, and never teach the stop set a possibly-chimeric path.
+            result.degraded = True
+            if mutations_seen:
+                result.degraded_reasons.append("topology-mutated")
+            if contradictions:
+                result.degraded_reasons.append("hop-contradiction")
+            result.confidence = round(max(
+                0.1, 1.0 - 0.2 * mutations_seen - 0.1 * contradictions), 3)
+            if self.events:
+                self.events.emit(DegradedResult(
+                    destination=destination,
+                    reason=";".join(result.degraded_reasons),
+                    confidence=result.confidence,
+                ))
+        if self.stop_set is not None and result.reached \
+                and not result.degraded:
             self.stop_set.record(destination, [
                 (hop.ttl, hop.address)
                 for hop in result.hops if not hop.is_destination
@@ -181,6 +230,24 @@ class TraceNET:
     def collected_addresses(self) -> set:
         """Every address placed into some observed subnet."""
         return set(self._member_index.keys())
+
+    def evict_subnets(self, predicate) -> List[ObservedSubnet]:
+        """Drop registered subnets matching ``predicate`` from reuse.
+
+        Radar rounds call this for prefixes a mutation touched: the next
+        trace through them re-positions and re-explores instead of serving
+        the pre-mutation subnet from the registry.  Returns the evicted
+        subnets (callers may diff against what re-probing finds).
+        """
+        evicted = [s for s in self._subnets if predicate(s)]
+        if evicted:
+            keep = [s for s in self._subnets if not predicate(s)]
+            self._subnets = keep
+            self._member_index = {}
+            for subnet in keep:
+                for member in subnet.members:
+                    self._member_index.setdefault(member, subnet)
+        return evicted
 
     def register_subnet(self, subnet: ObservedSubnet) -> None:
         """Adopt an externally collected subnet into the reuse registry.

@@ -223,6 +223,70 @@ class SurveyProgressed(SessionEvent):
     probes_sent: int
 
 
+@dataclass(frozen=True, slots=True)
+class TopologyMutated(SessionEvent):
+    """The network changed under the collector (netsim.dynamics).
+
+    Emitted by the churn seam at the probe-count epoch where the mutation
+    fires, *before* the probe that crossed the epoch boundary is answered.
+    The payload derives purely from the mutation schedule — never from the
+    apply outcome — so a journal replay (which has no engine to mutate)
+    emits the byte-identical stream.
+    """
+
+    epoch: int
+    sequence: int
+    kind: str
+    target: str
+    detail: Optional[Dict] = None
+
+
+@dataclass(frozen=True, slots=True)
+class TraceInconsistent(SessionEvent):
+    """A hop contradicted what this trace already believed.
+
+    Raised by the hop pipeline when a mutation epoch advanced mid-trace and
+    the re-probe of a buffered/stop-set-served TTL answered differently
+    from the pre-mutation observation — the signal that this trace mixes
+    epochs and its result must be marked degraded.
+    """
+
+    destination: int
+    ttl: int
+    expected: Optional[int]
+    observed: Optional[int]
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class SubnetRetracted(SessionEvent):
+    """A previously archived subnet vanished from a radar re-survey."""
+
+    prefix: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedResult(SessionEvent):
+    """A trace completed but cannot be fully trusted (mixed epochs,
+    contradicted hops, or retry exhaustion under loss); ``confidence``
+    is the fraction of its observations that survived re-validation."""
+
+    destination: int
+    reason: str
+    confidence: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRetried(SessionEvent):
+    """One retry attempt after an unanswered probe (attempt >= 1)."""
+
+    dst: int
+    ttl: int
+    attempt: int
+    phase: Optional[str]
+
+
 #: Every concrete event type, by class name — the wire vocabulary.
 EVENT_TYPES: Dict[str, Type[SessionEvent]] = {
     cls.__name__: cls
@@ -230,7 +294,8 @@ EVENT_TYPES: Dict[str, Type[SessionEvent]] = {
         ProbeSent, CacheHit, ProbeSuppressed, ProbeBatchSent, HopObserved,
         SubnetPositioned, HeuristicFired, SubnetShrunk, SubnetGrown,
         TraceStarted, TraceFinished, CheckpointWritten, SurveyProgressed,
-        OverheadViolation,
+        OverheadViolation, TopologyMutated, TraceInconsistent,
+        SubnetRetracted, DegradedResult, ProbeRetried,
     )
 }
 

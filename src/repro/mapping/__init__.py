@@ -1,6 +1,14 @@
-"""Topology mapping: persistence, multi-vantage merging, and the
-subnet-level map graph the paper's introduction motivates."""
+"""Topology mapping: persistence, multi-vantage merging, archive
+differencing (radar mode), and the subnet-level map graph the paper's
+introduction motivates."""
 
+from .diff import (
+    ArchiveDiff,
+    PathChange,
+    SubnetChange,
+    diff_archives,
+    dirty_prefixes,
+)
 from .graph import (
     TopologyMap,
     annotate_same_lan,
@@ -23,12 +31,17 @@ from .store import (
 )
 
 __all__ = [
+    "ArchiveDiff",
     "CollectionArchive",
     "MergedSubnet",
+    "PathChange",
+    "SubnetChange",
     "SubnetDedupeStore",
     "TopologyMap",
     "annotate_same_lan",
     "archive_from_dict",
+    "diff_archives",
+    "dirty_prefixes",
     "archive_from_tool",
     "archive_to_dict",
     "confirmed",

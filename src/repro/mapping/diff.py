@@ -1,0 +1,266 @@
+"""Archive differencing: what changed between two maps of the same network.
+
+"A Radar for the Internet" (Latapy et al.) frames topology measurement as a
+*sequence of maps* whose differences are the signal; tracenet's radar mode
+re-surveys on a fixed simulated-epoch cadence and this module computes the
+map-to-map deltas: subnets that appeared, vanished, or resized, and
+per-destination path churn.
+
+Determinism contract: :func:`diff_archives` reads only archive content
+(never wall clocks, never probe economics), and :meth:`ArchiveDiff.to_dict`
+sorts every collection — so a live radar run, a journal replay of it, and
+an offline ``tracenet diff old.json new.json`` over its round archives all
+serialize the bit-identical diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netsim.addressing import format_ip
+from .store import CollectionArchive
+
+
+@dataclass
+class SubnetChange:
+    """One prefix whose observation changed between rounds."""
+
+    prefix: str
+    change: str                       # "appeared" | "vanished" | "resized"
+    old_prefix: Optional[str] = None  # for resizes: what it was before
+    old_members: int = 0
+    new_members: int = 0
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {"prefix": self.prefix, "change": self.change}
+        if self.old_prefix is not None:
+            payload["old_prefix"] = self.old_prefix
+        payload["old_members"] = self.old_members
+        payload["new_members"] = self.new_members
+        return payload
+
+
+@dataclass
+class PathChange:
+    """One destination whose trace path differs between rounds."""
+
+    destination: str
+    change: str                 # "path-changed" | "appeared" | "vanished"
+    old_hops: List[Optional[str]] = field(default_factory=list)
+    new_hops: List[Optional[str]] = field(default_factory=list)
+    divergence_ttl: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "destination": self.destination,
+            "change": self.change,
+            "old_hops": self.old_hops,
+            "new_hops": self.new_hops,
+            "divergence_ttl": self.divergence_ttl,
+        }
+
+
+@dataclass
+class ArchiveDiff:
+    """The full delta between two rounds of the same radar survey."""
+
+    subnet_changes: List[SubnetChange] = field(default_factory=list)
+    path_changes: List[PathChange] = field(default_factory=list)
+    subnets_before: int = 0
+    subnets_after: int = 0
+    traces_before: int = 0
+    traces_after: int = 0
+    degraded_after: int = 0
+
+    @property
+    def appeared(self) -> List[SubnetChange]:
+        return [c for c in self.subnet_changes if c.change == "appeared"]
+
+    @property
+    def vanished(self) -> List[SubnetChange]:
+        return [c for c in self.subnet_changes if c.change == "vanished"]
+
+    @property
+    def resized(self) -> List[SubnetChange]:
+        return [c for c in self.subnet_changes if c.change == "resized"]
+
+    @property
+    def path_churn_rate(self) -> float:
+        """Fraction of destinations present in both rounds whose path
+        changed (0.0 when no destination appears in both)."""
+        shared = [c for c in self.path_changes if c.change == "path-changed"]
+        both = self._shared_destinations
+        return len(shared) / both if both else 0.0
+
+    #: Destinations traced in both rounds (set by diff_archives; needed by
+    #: the churn-rate denominator and the summary payload).
+    _shared_destinations: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.subnet_changes and not self.path_changes
+
+    def to_dict(self) -> Dict:
+        """Deterministic serialization — sorted, content-only, so the
+        live / replay / offline renderings are bit-identical."""
+        return {
+            "summary": {
+                "subnets_before": self.subnets_before,
+                "subnets_after": self.subnets_after,
+                "traces_before": self.traces_before,
+                "traces_after": self.traces_after,
+                "degraded_after": self.degraded_after,
+                "appeared": len(self.appeared),
+                "vanished": len(self.vanished),
+                "resized": len(self.resized),
+                "paths_compared": self._shared_destinations,
+                "paths_changed": len([c for c in self.path_changes
+                                      if c.change == "path-changed"]),
+                "path_churn_rate": round(self.path_churn_rate, 6),
+            },
+            "subnet_changes": [c.to_dict() for c in sorted(
+                self.subnet_changes, key=lambda c: (c.prefix, c.change))],
+            "path_changes": [c.to_dict() for c in sorted(
+                self.path_changes,
+                key=lambda c: (c.destination, c.change))],
+        }
+
+    def describe(self) -> str:
+        """One-paragraph rendering for the CLI."""
+        summary = self.to_dict()["summary"]
+        lines = [
+            f"subnets: {summary['subnets_before']} -> "
+            f"{summary['subnets_after']} "
+            f"(+{summary['appeared']} appeared, "
+            f"-{summary['vanished']} vanished, "
+            f"{summary['resized']} resized)",
+            f"paths: {summary['paths_changed']}/{summary['paths_compared']} "
+            f"changed (churn rate {summary['path_churn_rate']:.3f}), "
+            f"{summary['degraded_after']} degraded traces in the new round",
+        ]
+        for change in sorted(self.subnet_changes,
+                             key=lambda c: (c.prefix, c.change)):
+            was = f" (was {change.old_prefix})" if change.old_prefix else ""
+            lines.append(f"  {change.change:>8}  {change.prefix}{was}")
+        return "\n".join(lines)
+
+
+def diff_archives(old: CollectionArchive,
+                  new: CollectionArchive) -> ArchiveDiff:
+    """The delta between two survey rounds over the same target set.
+
+    Subnets are matched by prefix first; an old and a new subnet that share
+    no prefix but overlap in members are reported as one ``resized`` change
+    (covers both radar resizes and H9-style boundary shifts).  Trace paths
+    compare as their (ttl, address) ladders; the first differing TTL is
+    reported as the divergence point.
+    """
+    diff = ArchiveDiff(
+        subnets_before=len(old.subnets),
+        subnets_after=len(new.subnets),
+        traces_before=len(old.traces),
+        traces_after=len(new.traces),
+        degraded_after=sum(1 for t in new.traces if t.degraded),
+    )
+
+    old_by_prefix = {str(s.prefix): s for s in old.subnets}
+    new_by_prefix = {str(s.prefix): s for s in new.subnets}
+
+    # Member-overlap matching for prefix-less pairs (resizes/renumbers).
+    unmatched_old = {p: s for p, s in old_by_prefix.items()
+                     if p not in new_by_prefix}
+    unmatched_new = {p: s for p, s in new_by_prefix.items()
+                     if p not in old_by_prefix}
+    resized_old = set()
+    for new_prefix in sorted(unmatched_new):
+        new_subnet = unmatched_new[new_prefix]
+        match = None
+        for old_prefix in sorted(unmatched_old):
+            if old_prefix in resized_old:
+                continue
+            old_subnet = unmatched_old[old_prefix]
+            if new_subnet.members & old_subnet.members:
+                match = old_prefix
+                break
+        if match is not None:
+            resized_old.add(match)
+            diff.subnet_changes.append(SubnetChange(
+                prefix=new_prefix, change="resized", old_prefix=match,
+                old_members=len(unmatched_old[match].members),
+                new_members=len(new_subnet.members)))
+        else:
+            diff.subnet_changes.append(SubnetChange(
+                prefix=new_prefix, change="appeared",
+                new_members=len(new_subnet.members)))
+    for old_prefix in sorted(unmatched_old):
+        if old_prefix in resized_old:
+            continue
+        diff.subnet_changes.append(SubnetChange(
+            prefix=old_prefix, change="vanished",
+            old_members=len(unmatched_old[old_prefix].members)))
+
+    old_paths = {t.destination: t for t in old.traces}
+    new_paths = {t.destination: t for t in new.traces}
+    shared = 0
+    for destination in sorted(set(old_paths) | set(new_paths)):
+        old_trace = old_paths.get(destination)
+        new_trace = new_paths.get(destination)
+        if old_trace is None:
+            diff.path_changes.append(PathChange(
+                destination=format_ip(destination), change="appeared",
+                new_hops=_hop_texts(new_trace)))
+            continue
+        if new_trace is None:
+            diff.path_changes.append(PathChange(
+                destination=format_ip(destination), change="vanished",
+                old_hops=_hop_texts(old_trace)))
+            continue
+        shared += 1
+        old_hops = [(hop.ttl, hop.address) for hop in old_trace.hops]
+        new_hops = [(hop.ttl, hop.address) for hop in new_trace.hops]
+        if old_hops != new_hops:
+            divergence = None
+            for (old_ttl, old_addr), (new_ttl, new_addr) in zip(old_hops,
+                                                                new_hops):
+                if (old_ttl, old_addr) != (new_ttl, new_addr):
+                    divergence = min(old_ttl, new_ttl)
+                    break
+            if divergence is None:
+                divergence = min(len(old_hops), len(new_hops)) + 1
+            diff.path_changes.append(PathChange(
+                destination=format_ip(destination), change="path-changed",
+                old_hops=_hop_texts(old_trace),
+                new_hops=_hop_texts(new_trace),
+                divergence_ttl=divergence))
+    diff._shared_destinations = shared
+    return diff
+
+
+def _hop_texts(trace) -> List[Optional[str]]:
+    return [format_ip(hop.address) if hop.address is not None else None
+            for hop in trace.hops]
+
+
+def dirty_prefixes(diff: ArchiveDiff) -> List[str]:
+    """The prefixes a radar round should re-probe incrementally.
+
+    Everything that appeared, vanished or resized, plus (by caller
+    composition) the destinations whose paths changed — the radar runner
+    maps these back onto its target list.
+    """
+    dirty = set()
+    for change in diff.subnet_changes:
+        dirty.add(change.prefix)
+        if change.old_prefix:
+            dirty.add(change.old_prefix)
+    return sorted(dirty)
+
+
+__all__ = [
+    "ArchiveDiff",
+    "PathChange",
+    "SubnetChange",
+    "diff_archives",
+    "dirty_prefixes",
+]

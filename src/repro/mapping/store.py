@@ -81,8 +81,13 @@ def subnet_from_dict(payload: Dict) -> ObservedSubnet:
 
 
 def trace_to_dict(result: TraceResult) -> Dict:
-    """JSON-ready representation of a trace (subnets stored by prefix ref)."""
-    return {
+    """JSON-ready representation of a trace (subnets stored by prefix ref).
+
+    Degradation markers appear only on degraded traces — archives collected
+    against a quiescent network serialize byte-identically to format
+    version 1 files written before radar mode existed.
+    """
+    payload = {
         "vantage": result.vantage_host_id,
         "destination": format_ip(result.destination),
         "reached": result.reached,
@@ -99,6 +104,11 @@ def trace_to_dict(result: TraceResult) -> Dict:
             for hop in result.hops
         ],
     }
+    if result.degraded:
+        payload["degraded"] = True
+        payload["confidence"] = result.confidence
+        payload["degraded_reasons"] = list(result.degraded_reasons)
+    return payload
 
 
 def trace_from_dict(payload: Dict,
@@ -110,6 +120,9 @@ def trace_from_dict(payload: Dict,
         destination=parse_ip(payload["destination"]),
         reached=payload.get("reached", False),
         probes_sent=payload.get("probes_sent", 0),
+        confidence=payload.get("confidence", 1.0),
+        degraded=payload.get("degraded", False),
+        degraded_reasons=list(payload.get("degraded_reasons", [])),
     )
     for hop_payload in payload["hops"]:
         address = hop_payload.get("address")

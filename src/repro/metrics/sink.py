@@ -13,18 +13,23 @@ from __future__ import annotations
 from ..events import (
     CacheHit,
     CheckpointWritten,
+    DegradedResult,
     HeuristicFired,
     HopObserved,
     OverheadViolation,
     ProbeBatchSent,
+    ProbeRetried,
     ProbeSent,
     ProbeSuppressed,
     SessionEvent,
     SubnetGrown,
     SubnetPositioned,
+    SubnetRetracted,
     SubnetShrunk,
     SurveyProgressed,
+    TopologyMutated,
     TraceFinished,
+    TraceInconsistent,
     TraceStarted,
 )
 from .registry import MetricsRegistry
@@ -75,6 +80,11 @@ _HELP = {
     "survey_skipped": "Targets skipped (resumed from checkpoint)",
     "survey_reached": "Targets whose trace reached the destination",
     "survey_probes_sent": "Wire probes sent by the current survey run",
+    "topology_mutations_total": "Network mutations fired mid-survey, by kind",
+    "trace_inconsistencies_total": "Hop contradictions against cached paths",
+    "subnets_retracted_total": "Previously-mapped subnets no longer observed",
+    "degraded_traces_total": "Traces marked degraded by mid-trace churn",
+    "probe_retries_total": "Silent probes re-sent under the retry policy",
 }
 
 
@@ -119,6 +129,11 @@ class MetricsSink:
             TraceFinished: self._on_trace_finished,
             CheckpointWritten: self._on_checkpoint,
             SurveyProgressed: self._on_survey_progressed,
+            TopologyMutated: self._on_topology_mutated,
+            TraceInconsistent: self._on_trace_inconsistent,
+            SubnetRetracted: self._on_subnet_retracted,
+            DegradedResult: self._on_degraded_result,
+            ProbeRetried: self._on_probe_retried,
         }
 
     def __call__(self, event: SessionEvent) -> None:
@@ -220,6 +235,21 @@ class MetricsSink:
 
     def _on_checkpoint(self, event: CheckpointWritten) -> None:
         self.registry.inc("checkpoints_written_total")
+
+    def _on_topology_mutated(self, event: TopologyMutated) -> None:
+        self.registry.inc("topology_mutations_total", kind=event.kind)
+
+    def _on_trace_inconsistent(self, event: TraceInconsistent) -> None:
+        self.registry.inc("trace_inconsistencies_total", reason=event.reason)
+
+    def _on_subnet_retracted(self, event: SubnetRetracted) -> None:
+        self.registry.inc("subnets_retracted_total", reason=event.reason)
+
+    def _on_degraded_result(self, event: DegradedResult) -> None:
+        self.registry.inc("degraded_traces_total")
+
+    def _on_probe_retried(self, event: ProbeRetried) -> None:
+        self.registry.inc("probe_retries_total")
 
     def _on_survey_progressed(self, event: SurveyProgressed) -> None:
         registry = self.registry

@@ -17,6 +17,11 @@ from .addressing import (
     parse_ip,
 )
 from .builder import PrefixAllocator, TopologyBuilder
+from .dynamics import (
+    MutationSchedule,
+    NetworkDynamics,
+    ScheduledMutation,
+)
 from .engine import (
     Engine,
     EngineStats,
@@ -54,7 +59,10 @@ __all__ = [
     "IpIdMode",
     "LoadBalancer",
     "LoadBalancingMode",
+    "MutationSchedule",
+    "NetworkDynamics",
     "NextHop",
+    "ScheduledMutation",
     "Prefix",
     "PrefixAllocator",
     "Probe",

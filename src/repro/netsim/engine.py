@@ -288,11 +288,39 @@ class Engine:
             self._flat_pids = _np.empty(256, _np.int64)
         else:
             self._slot_offset = self._slot_limit = self._flat_pids = None
+        # Mutation watch: memoized paths bake in the topology walk, the
+        # policy's static response decisions and the balancer's per-flow
+        # choices.  Any of the three changing mid-run (netsim.dynamics)
+        # must drop the memo before the next probe is answered.
+        self._cache_stamp = (topology.version, self.policy.version,
+                             self.balancer.version)
 
     # -- public API --------------------------------------------------------
 
+    def _check_mutations(self) -> None:
+        """Drop stale memoized paths after a topology/policy/ECMP mutation.
+
+        Version stamps, never content checks: a mutated network answers
+        from a fresh walk on the very next probe (the routing table does
+        its own version-driven rebuild).  Cheap enough for the per-send
+        hot path — three attribute reads and a tuple compare.
+        """
+        stamp = (self.topology.version, self.policy.version,
+                 self.balancer.version)
+        if stamp != self._cache_stamp:
+            self._cache_stamp = stamp
+            self.clear_path_cache()
+
+    def idle(self, ticks: int = 1) -> None:
+        """Advance the virtual clock without sending (retry backoff):
+        rate-limit buckets refill as if ``ticks`` probes' worth of time
+        passed, deterministically."""
+        if ticks > 0:
+            self.clock += ticks
+
     def send(self, probe: Probe) -> Optional[Response]:
         """Inject one probe; return the response seen at the vantage (or None)."""
+        self._check_mutations()
         self.clock += 1
         self.stats.record_probe(probe.protocol)
         stamps: Optional[List[int]] = [] if probe.record_route else None
@@ -318,6 +346,7 @@ class Engine:
         simulator's native half of the transport ``send_many`` API and what
         the ``batched`` bench lane measures.
         """
+        self._check_mutations()
         stats = self.stats
         stats.batches += 1
         stats.batched_probes += len(probes)

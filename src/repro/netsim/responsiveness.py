@@ -61,6 +61,11 @@ class ResponsePolicy:
         # absent means responsive.
         self._protocol_refusals: Set[Tuple[str, Protocol]] = set()
         self._rate_limiters: Dict[str, TokenBucket] = {}
+        # Configuration mutation counter: response plans memoized against
+        # this policy (the engine's resolved-path cache) go stale when it
+        # changes mid-run — router reboots silence/unsilence routers while
+        # the topology version stays put.
+        self.version = 0
 
     # -- configuration ---------------------------------------------------
 
@@ -68,21 +73,43 @@ class ResponsePolicy:
         """Make a subnet totally unresponsive: probes *destined into its
         block* are silently dropped (the paper's firewalled edge subnets)."""
         self._firewalled_subnets.add(subnet_id)
+        self.version += 1
         return self
 
     def silence_interface(self, address: int) -> "ResponsePolicy":
         """Make one interface ignore direct probes (partial unresponsiveness)."""
         self._silent_interfaces.add(address)
+        self.version += 1
         return self
 
     def silence_router(self, router_id: str) -> "ResponsePolicy":
         """Make a router fully reticent (the *nil interface* configuration)."""
         self._silent_routers.add(router_id)
+        self.version += 1
+        return self
+
+    def unsilence_router(self, router_id: str) -> "ResponsePolicy":
+        """Undo :meth:`silence_router` — a rebooted router coming back."""
+        self._silent_routers.discard(router_id)
+        self.version += 1
+        return self
+
+    def unfirewall_subnet(self, subnet_id: str) -> "ResponsePolicy":
+        """Undo :meth:`firewall_subnet`."""
+        self._firewalled_subnets.discard(subnet_id)
+        self.version += 1
+        return self
+
+    def unsilence_interface(self, address: int) -> "ResponsePolicy":
+        """Undo :meth:`silence_interface`."""
+        self._silent_interfaces.discard(address)
+        self.version += 1
         return self
 
     def refuse_protocol(self, router_id: str, protocol: Protocol) -> "ResponsePolicy":
         """Make one router ignore one probe protocol entirely."""
         self._protocol_refusals.add((router_id, protocol))
+        self.version += 1
         return self
 
     def sample_protocol_bias(self, topology: Topology,
@@ -99,6 +126,7 @@ class ResponsePolicy:
             for protocol, rate in response_rates.items():
                 if draw >= rate:
                     self._protocol_refusals.add((router_id, protocol))
+        self.version += 1
         return self
 
     def rate_limit_router(self, router_id: str, capacity: float,
@@ -107,6 +135,7 @@ class ResponsePolicy:
         self._rate_limiters[router_id] = TokenBucket(
             capacity=capacity, refill_per_tick=refill_per_tick
         )
+        self.version += 1
         return self
 
     def reset_rate_limiters(self) -> "ResponsePolicy":

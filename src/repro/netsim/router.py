@@ -80,6 +80,20 @@ class Router:
         self._interfaces[interface.address] = interface
         self._by_subnet.setdefault(interface.subnet_id, interface)
 
+    def detach(self, address: int) -> Interface:
+        """Remove (and return) the interface at ``address`` (KeyError when
+        absent).  ``_by_subnet`` holds the *first* interface per subnet, so
+        detaching that one promotes the router's next interface on the same
+        subnet (insertion order), keeping ``interface_on`` consistent."""
+        interface = self._interfaces.pop(address)
+        if self._by_subnet.get(interface.subnet_id) is interface:
+            del self._by_subnet[interface.subnet_id]
+            for other in self._interfaces.values():
+                if other.subnet_id == interface.subnet_id:
+                    self._by_subnet[interface.subnet_id] = other
+                    break
+        return interface
+
     @property
     def interfaces(self) -> List[Interface]:
         """All interfaces hosted by this router."""

@@ -63,10 +63,14 @@ class LoadBalancer:
         self.default_mode = default_mode
         self._per_router: Dict[str, LoadBalancingMode] = {}
         self._rng = random.Random(seed)
+        # Mutation counter: memoized paths bake in per-flow ECMP choices,
+        # so a mid-run mode change must invalidate them (engine watches).
+        self.version = 0
 
     def set_mode(self, router_id: str, mode: LoadBalancingMode) -> None:
         """Override the balancing mode of one router."""
         self._per_router[router_id] = mode
+        self.version += 1
 
     def mode_of(self, router_id: str) -> LoadBalancingMode:
         return self._per_router.get(router_id, self.default_mode)

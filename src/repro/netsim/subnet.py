@@ -43,6 +43,11 @@ class Subnet:
             raise ValueError(f"duplicate address on {self.subnet_id}: {interface}")
         self._interfaces[interface.address] = interface
 
+    def detach(self, address: int) -> Interface:
+        """Remove (and return) the interface at ``address`` (KeyError when
+        absent) — the link-flap / renumbering primitive."""
+        return self._interfaces.pop(address)
+
     @property
     def interfaces(self) -> List[Interface]:
         """All interfaces attached to this subnet."""

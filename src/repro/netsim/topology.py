@@ -141,6 +141,46 @@ class Topology:
         self.version += 1
         return host
 
+    # -- mutation (netsim.dynamics primitives) -------------------------
+
+    def disconnect(self, address: int) -> Interface:
+        """Remove the interface at ``address`` from its router and subnet.
+
+        The inverse of :meth:`connect` — the link-flap / renumbering
+        primitive.  Returns the removed interface so a flap can restore
+        the identical binding later.  Hosts are never disconnected.
+        """
+        interface = self._iface_by_address.pop(address, None)
+        if interface is None:
+            raise TopologyError(
+                f"no interface at {format_ip(address)} to disconnect")
+        self.subnets[interface.subnet_id].detach(address)
+        self.routers[interface.router_id].detach(address)
+        self.version += 1
+        return interface
+
+    def remove_subnet(self, subnet_id: str) -> Subnet:
+        """Unregister an *empty* subnet (no interfaces, no hosts).
+
+        Disconnect every interface first; a subnet with attached hosts
+        cannot be removed (vantage points must survive churn).
+        """
+        subnet = self.subnets.get(subnet_id)
+        if subnet is None:
+            raise TopologyError(f"unknown subnet {subnet_id}")
+        if subnet.interfaces:
+            raise TopologyError(
+                f"subnet {subnet_id} still has interfaces attached")
+        if any(host.subnet_id == subnet_id for host in self.hosts.values()):
+            raise TopologyError(f"subnet {subnet_id} still hosts end hosts")
+        entry = (subnet.prefix.network, subnet.prefix.broadcast, subnet_id)
+        position = bisect.bisect_left(self._blocks, entry)
+        if position < len(self._blocks) and self._blocks[position] == entry:
+            del self._blocks[position]
+        del self.subnets[subnet_id]
+        self.version += 1
+        return subnet
+
     # -- lookups --------------------------------------------------------
 
     def interface_at(self, address: int) -> Optional[Interface]:

@@ -139,8 +139,17 @@ class ShardSpec:
             **overrides,
         )
 
-    def build_tool(self) -> TraceNET:
-        """Rebuild the collector this spec describes (worker side)."""
+    def build_tool(self, radar: Optional[Dict] = None) -> TraceNET:
+        """Rebuild the collector this spec describes (worker side).
+
+        ``radar`` is a radar-job config dict (``churn_count``,
+        ``churn_seed``, ``churn_start``, ``churn_interval``, ``drop_rate``,
+        ``fault_seed``): the transport chain gains a seeded
+        :class:`~repro.transport.FaultInjectingTransport` and/or
+        :class:`~repro.transport.MutatingTransport`, both deterministic
+        functions of the spec + config, so every lease attempt of a radar
+        shard replays the identical churn.
+        """
         topology = topology_from_dict(self.topology)
         topology.validate()
         policy = (policy_from_dict(self.policy, seed=self.policy_seed)
@@ -153,14 +162,37 @@ class ShardSpec:
             stop_set = (StopSet.from_dict(self.seed_stop_set)
                         if self.seed_stop_set is not None
                         else StopSet(prefix_length=self.stop_prefix_length))
-        return TraceNET(SimulatorTransport(engine), self.vantage,
+        transport = SimulatorTransport(engine)
+        events = None
+        if radar:
+            from .events import EventBus
+            from .netsim.dynamics import MutationSchedule, NetworkDynamics
+            from .transport import FaultInjectingTransport, MutatingTransport
+
+            events = EventBus()
+            if radar.get("drop_rate", 0.0) > 0.0:
+                transport = FaultInjectingTransport(
+                    transport, drop_rate=radar["drop_rate"],
+                    seed=radar.get("fault_seed", 0))
+            if radar.get("churn_count", 0) > 0:
+                schedule = MutationSchedule.generate(
+                    topology, seed=radar.get("churn_seed", 0),
+                    start=max(1, radar.get("churn_start", 200)),
+                    interval=max(1, radar.get("churn_interval", 400)),
+                    count=radar["churn_count"])
+                transport = MutatingTransport(
+                    transport, schedule,
+                    dynamics=NetworkDynamics(engine, schedule),
+                    events=events)
+        return TraceNET(transport, self.vantage,
                         protocol=Protocol(self.protocol),
                         max_hops=self.max_hops,
                         min_prefix_length=self.min_prefix_length,
                         explore=self.explore,
                         reuse_subnets=self.reuse_subnets,
                         batch_window=self.batch_window,
-                        stop_set=stop_set)
+                        stop_set=stop_set,
+                        events=events)
 
 
 def shard_targets(targets: Sequence[int], shards: int) -> List[List[int]]:
@@ -256,6 +288,60 @@ def run_shard(spec: ShardSpec, shard_index: int, targets: List[int],
 
 #: Backwards-compatible alias (the primitive used to be module-private).
 _run_shard = run_shard
+
+
+def run_radar_shard(spec: ShardSpec, shard_index: int, targets: List[int],
+                    radar: Dict, sinks: Sequence = (),
+                    audit: bool = True, spans: bool = False) -> Dict:
+    """Radar-job twin of :func:`run_shard`: repeated re-survey rounds.
+
+    Rebuilds the collector with the radar's churn/fault transport chain
+    (:meth:`ShardSpec.build_tool` with the ``radar`` config) and drives a
+    :class:`~repro.radar.RadarRunner` over the whole target slice.  The
+    payload mirrors :func:`run_shard` — ``archive`` is the *final* round's
+    map — plus a ``"radar"`` key holding the per-round summary and diffs.
+    Radar jobs run as one shard (rounds are sequential and carry state),
+    so there is no checkpoint file; fault recovery re-runs the shard,
+    which is deterministic in (spec, radar, targets).
+    """
+    from .radar import RadarRunner
+
+    started = time.perf_counter()
+    tool = spec.build_tool(radar=radar)
+    tracer = None
+    if spans:
+        from .tracing import SpanBuilder
+
+        tracer = SpanBuilder(clock=time.perf_counter, root_kind="shard",
+                             root_name=f"radar-shard-{shard_index}",
+                             meta={"shard": shard_index})
+        tool.events.subscribe(tracer)
+    for sink in sinks:
+        tool.events.subscribe(sink)
+    events = CounterSink()
+    tool.events.subscribe(events)
+    registry = MetricsRegistry()
+    instrument(tool.events, registry=registry, audit=audit)
+    built = time.perf_counter()
+    outcome = RadarRunner(tool, targets,
+                          rounds=max(1, radar.get("rounds", 3)),
+                          incremental=radar.get("incremental", True)).run()
+    collect_backend_metrics(registry.backend, tool.transport)
+    finished = time.perf_counter()
+    return {
+        "shard": shard_index,
+        "archive": archive_to_dict(outcome.final_archive),
+        "stats": tool.prober.stats.snapshot(),
+        "events": dict(events.counts),
+        "metrics": registry.to_dict(),
+        "build_seconds": built - started,
+        "survey_seconds": finished - built,
+        "stop_set": (tool.stop_set.to_dict()
+                     if tool.stop_set is not None else None),
+        "spans": (tracer.finish().to_dict(timing=True)
+                  if tracer is not None else None),
+        "radar": outcome.to_dict(),
+    }
 
 
 def _stats_from_snapshot(snapshot: Dict[str, int]) -> ProbeStats:
@@ -385,6 +471,9 @@ class ShardOutcome:
     #: Worker-side timed span tree (``Span.to_dict(timing=True)``), kept
     #: in dict form — worker clocks share no timebase with the caller's.
     spans: Optional[Dict] = None
+    #: Radar-job round summary + diffs (``RadarResult.to_dict()``); None
+    #: for ordinary survey shards.
+    radar: Optional[Dict] = None
 
 
 def outcome_from_payload(shard_index: int, targets: Sequence[int],
@@ -413,6 +502,7 @@ def outcome_from_payload(shard_index: int, targets: Sequence[int],
                   if shard_stop_set is not None else None),
         attempt=attempt,
         spans=payload.get("spans"),
+        radar=payload.get("radar"),
     )
 
 

@@ -8,7 +8,7 @@ elimination.
 """
 
 from .budget import ProbeBudget, ProbeBudgetExceeded, ProbeStats
-from .prober import Prober
+from .prober import Prober, RetryPolicy
 from .stopset import (
     DEFAULT_STOP_PREFIX_LENGTH,
     StopSet,
@@ -21,6 +21,7 @@ __all__ = [
     "ProbeBudgetExceeded",
     "ProbeStats",
     "Prober",
+    "RetryPolicy",
     "StopSet",
     "merge_stop_sets",
 ]

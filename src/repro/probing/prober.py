@@ -10,14 +10,51 @@ stable ICMP header fields (Paris-style flow identity), and probe metering.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..events import CacheHit, EventBus, ProbeBatchSent, ProbeSent
+from ..events import CacheHit, EventBus, ProbeBatchSent, ProbeRetried, ProbeSent
 from ..netsim.packet import DEFAULT_TTL, Probe, Protocol, Response
 from ..transport import as_transport, send_batch
 from .budget import ProbeBudget, ProbeStats
 
 CacheKey = Tuple[int, int, Protocol]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How silence is retried: attempt count plus optional idle backoff.
+
+    ``attempts`` is the number of *re*-probes after the first silent send
+    (the paper's implementation re-probes once).  ``backoff_ticks`` idles
+    the transport clock before each retry — entry ``i`` before retry
+    ``i+1``, the last entry repeating for any further retries.  The default
+    policy is budget-identical to the historical bare ``retries=1``: same
+    wire probes, same charges, no idling, so existing archives stay byte
+    for byte.
+    """
+
+    attempts: int = 1
+    backoff_ticks: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.attempts < 0:
+            raise ValueError(f"attempts must be >= 0, got {self.attempts}")
+        if any(t < 0 for t in self.backoff_ticks):
+            raise ValueError("backoff_ticks must be non-negative")
+
+    @classmethod
+    def coerce(cls, value: Union[int, "RetryPolicy"]) -> "RetryPolicy":
+        """Accept a bare retry count (the legacy knob) or a full policy."""
+        if isinstance(value, cls):
+            return value
+        return cls(attempts=int(value))
+
+    def backoff_for(self, attempt: int) -> int:
+        """Idle ticks before retry ``attempt`` (1-based); 0 when none."""
+        if not self.backoff_ticks:
+            return 0
+        return self.backoff_ticks[min(attempt - 1, len(self.backoff_ticks) - 1)]
 
 
 class Prober:
@@ -29,7 +66,9 @@ class Prober:
             :class:`~repro.transport.SimulatorTransport` transparently.
         vantage_host_id: which registered host the probes originate from.
         protocol: probe transport protocol (Section 4.2 compares all three).
-        retries: re-probes on silence; the paper's implementation uses 1.
+        retries: re-probes on silence — a bare int (the paper's
+            implementation uses 1) or a :class:`RetryPolicy` adding idle
+            backoff between attempts.
         use_cache: memoize (dst, ttl) -> response, including silence.
         budget: optional hard probe cap.
         flow_id: constant flow identity (vary per probe for classic
@@ -40,7 +79,7 @@ class Prober:
 
     def __init__(self, network, vantage_host_id: str,
                  protocol: Protocol = Protocol.ICMP,
-                 retries: int = 1,
+                 retries: Union[int, RetryPolicy] = 1,
                  use_cache: bool = True,
                  budget: Optional[ProbeBudget] = None,
                  flow_id: int = 0,
@@ -50,7 +89,8 @@ class Prober:
         self.vantage_address = self.transport.source_address(vantage_host_id)
         self.vantage_host_id = vantage_host_id
         self.protocol = protocol
-        self.retries = retries
+        self.retry_policy = RetryPolicy.coerce(retries)
+        self.retries = self.retry_policy.attempts
         self.use_cache = use_cache
         self.budget = budget
         self.flow_id = flow_id
@@ -67,11 +107,15 @@ class Prober:
     # -- raw probe interface ------------------------------------------------
 
     def probe(self, dst: int, ttl: int, phase: Optional[str] = None,
-              flow_id: Optional[int] = None) -> Optional[Response]:
+              flow_id: Optional[int] = None,
+              refresh: bool = False) -> Optional[Response]:
         """Send one probe (plus retries on silence); return the response.
 
         Identical (dst, ttl) probes are answered from the cache when caching
         is enabled — silence is cached too, after the retry has confirmed it.
+        ``refresh=True`` bypasses the cache lookup and overwrites the entry
+        with the fresh answer — how the pipeline re-validates a hop after
+        the network mutated under it.
         """
         if ttl > DEFAULT_TTL:
             # A TTL beyond DEFAULT_TTL used to alias the direct-probe cache
@@ -82,7 +126,8 @@ class Prober:
                 f"probe TTL {ttl} exceeds DEFAULT_TTL ({DEFAULT_TTL}); "
                 f"use direct_probe() for direct probing")
         key = (dst, ttl, self.protocol)
-        if self.use_cache and flow_id is None and key in self._cache:
+        if self.use_cache and flow_id is None and not refresh \
+                and key in self._cache:
             self.stats.record_cache_hit()
             events = self.events
             if events:
@@ -96,6 +141,8 @@ class Prober:
         while response is None and attempt < self.retries:
             attempt += 1
             self.stats.retries += 1
+            self._note_retry(dst, ttl, attempt, phase)
+            self.backoff(self.retry_policy.backoff_for(attempt))
             response = self._send_once(dst, ttl, phase, flow_id)
         if self.use_cache and flow_id is None:
             self._cache[key] = response
@@ -154,11 +201,15 @@ class Prober:
             for index, response in zip(pending, responses):
                 results[index] = response
             # Re-probe silence, batch-wide, with per-probe retry budgets.
-            for _ in range(self.retries):
+            for attempt in range(1, self.retries + 1):
                 silent = [i for i in pending if results[i] is None]
                 if not silent:
                     break
                 self.stats.retries += len(silent)
+                for i in silent:
+                    dst, ttl = requests[i]
+                    self._note_retry(dst, ttl, attempt, phase)
+                self.backoff(self.retry_policy.backoff_for(attempt))
                 responses = self._send_many_once(
                     [requests[i] for i in silent], phase)
                 for index, response in zip(silent, responses):
@@ -241,6 +292,28 @@ class Prober:
         if charge_error is not None:
             raise charge_error
         return responses
+
+    def _note_retry(self, dst: int, ttl: int, attempt: int,
+                    phase: Optional[str]) -> None:
+        events = self.events
+        if events:
+            if events.wants(ProbeRetried):
+                events.emit(ProbeRetried(
+                    dst=dst, ttl=ttl, attempt=attempt, phase=phase))
+            else:
+                events.tally(ProbeRetried)
+
+    def backoff(self, ticks: int) -> None:
+        """Idle the transport clock between retry attempts (no probes).
+
+        Also used by the hop pipeline before re-validating a contradicted
+        hop — transient churn (reconvergence) gets a beat to settle.
+        """
+        if ticks <= 0:
+            return
+        idle = getattr(self.transport, "idle", None)
+        if idle is not None:
+            idle(ticks)
 
     def direct_probe(self, dst: int, phase: Optional[str] = None
                      ) -> Optional[Response]:

@@ -68,12 +68,19 @@ class StopSet:
                 f"stop-set prefix length must be in (0, 32], got {prefix_length}")
         self.prefix_length = prefix_length
         self._paths: Dict[int, Tuple[RememberedHop, ...]] = {}
+        # Epoch scoping: entries remember the topology epoch they were
+        # recorded under and are lazily discarded once the epoch advances
+        # (a TopologyMutated event) — a remembered path through a flapped
+        # link must not keep hiding what the network looks like now.
+        self.epoch = 0
+        self._epochs: Dict[int, int] = {}
         # Consultation accounting (merged across shards by merge()).
         self.recorded = 0     # destination prefixes with a remembered path
         self.hits = 0         # membership checks that verified
         self.misses = 0       # consultations with no usable remembered path
         self.rejected = 0     # membership checks that diverged (fell back)
         self.suppressed = 0   # ladder probes served from memory, not the wire
+        self.invalidated = 0  # entries discarded by an epoch advance
 
     def __len__(self) -> int:
         return len(self._paths)
@@ -86,9 +93,31 @@ class StopSet:
         """The destination-prefix bucket ``destination`` aggregates into."""
         return Prefix.containing(destination, self.prefix_length).network
 
+    def advance_epoch(self) -> None:
+        """The network changed: stop trusting every remembered path.
+
+        Invalidation is lazy — stale entries are discarded (and counted)
+        when next consulted, so an advance costs O(1) regardless of stop-set
+        size.  Paths recorded after the advance are trusted again.
+        """
+        self.epoch += 1
+
     def lookup(self, destination: int) -> Optional[Tuple[RememberedHop, ...]]:
-        """The remembered hop sequence toward ``destination``'s prefix."""
-        return self._paths.get(self.key(destination))
+        """The remembered hop sequence toward ``destination``'s prefix.
+
+        Entries recorded under an earlier topology epoch are stale by
+        definition: the path they remember may no longer exist, and
+        consulting one could suppress probes that would have discovered
+        the post-mutation network.  They are dropped here, lazily.
+        """
+        key = self.key(destination)
+        path = self._paths.get(key)
+        if path is not None and self._epochs.get(key, 0) != self.epoch:
+            del self._paths[key]
+            self._epochs.pop(key, None)
+            self.invalidated += 1
+            return None
+        return path
 
     def record(self, destination: int,
                hops: Iterable[RememberedHop]) -> bool:
@@ -106,12 +135,20 @@ class StopSet:
         if not path:
             return False
         existing = self._paths.get(key)
+        if existing is not None and self._epochs.get(key, 0) != self.epoch:
+            # A stale survivor from before the epoch advance: any fresh
+            # path beats it, whatever the depths.
+            existing = None
+            self.invalidated += 1
         if existing is None:
+            if key not in self._paths:
+                self.recorded += 1
             self._paths[key] = path
-            self.recorded += 1
+            self._epochs[key] = self.epoch
             return True
         if _verifiable_depth(path) > _verifiable_depth(existing):
             self._paths[key] = path
+            self._epochs[key] = self.epoch
             return True
         return False
 
@@ -145,15 +182,19 @@ class StopSet:
         fleet totals.
         """
         for key, path in other._paths.items():
+            if other._epochs.get(key, 0) != other.epoch:
+                continue  # stale in the donor — do not resurrect it here
             existing = self._paths.get(key)
             if existing is None or \
                     _verifiable_depth(path) > _verifiable_depth(existing):
                 self._paths[key] = path
+                self._epochs[key] = self.epoch
         self.recorded = len(self._paths)
         self.hits += other.hits
         self.misses += other.misses
         self.rejected += other.rejected
         self.suppressed += other.suppressed
+        self.invalidated += other.invalidated
 
     # -- serialization (ShardSpec payloads, seeding future surveys) ---------
 
@@ -166,7 +207,7 @@ class StopSet:
                 [ttl, format_ip(address) if address is not None else None]
                 for ttl, address in self._paths[key]
             ]
-        return {
+        payload = {
             "prefix_length": self.prefix_length,
             "paths": paths,
             "counters": {
@@ -175,8 +216,19 @@ class StopSet:
                 "misses": self.misses,
                 "rejected": self.rejected,
                 "suppressed": self.suppressed,
+                "invalidated": self.invalidated,
             },
         }
+        if self.epoch > 0:
+            # Epoch fields only appear once the network has actually
+            # mutated — static-survey payloads stay byte-identical to
+            # pre-epoch archives.
+            payload["epoch"] = self.epoch
+            payload["path_epochs"] = {
+                str(Prefix(key, self.prefix_length)): self._epochs.get(key, 0)
+                for key in sorted(self._paths)
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "StopSet":
@@ -188,12 +240,18 @@ class StopSet:
                 (int(ttl), parse_ip(address) if address is not None else None)
                 for ttl, address in hops
             )
+        stop_set.epoch = payload.get("epoch", 0)
+        path_epochs = payload.get("path_epochs", {})
+        for prefix_text, entry_epoch in path_epochs.items():
+            network_text = prefix_text.split("/", 1)[0]
+            stop_set._epochs[parse_ip(network_text)] = int(entry_epoch)
         counters = payload.get("counters", {})
         stop_set.recorded = counters.get("recorded", len(stop_set._paths))
         stop_set.hits = counters.get("hits", 0)
         stop_set.misses = counters.get("misses", 0)
         stop_set.rejected = counters.get("rejected", 0)
         stop_set.suppressed = counters.get("suppressed", 0)
+        stop_set.invalidated = counters.get("invalidated", 0)
         return stop_set
 
     def counters(self) -> Dict[str, int]:
@@ -205,6 +263,7 @@ class StopSet:
             "misses": self.misses,
             "rejected": self.rejected,
             "suppressed": self.suppressed,
+            "invalidated": self.invalidated,
         }
 
 

@@ -109,6 +109,9 @@ class ShardTask:
     #: Serialized subnets already collected by the fleet for this
     #: scenario — seeds the worker's reuse registry (shared dedupe).
     seed_subnets: List[Dict] = field(default_factory=list)
+    #: Radar-job config; the worker runs the radar primitive instead of
+    #: the checkpointing survey runner when this is set.
+    radar: Optional[Dict] = None
 
 
 @dataclass
@@ -138,6 +141,9 @@ class JobResult:
     #: Shard index → the worker's own timed span tree (dict form; worker
     #: clocks share no timebase with the coordinator's).
     worker_spans: Dict[int, Dict] = field(default_factory=dict)
+    #: Radar-job round summary + per-round archive diffs
+    #: (``RadarResult.to_dict()``); None for ordinary survey jobs.
+    radar: Optional[Dict] = None
 
 
 class _JobRuntime:
@@ -384,8 +390,14 @@ class Coordinator:
                 targets=list(runtime.slices[shard_index]),
                 checkpoint_path=self._checkpoint_path(job, shard_index),
                 checkpoint_every=job.checkpoint_every,
-                seed_subnets=self.store.snapshot(
-                    scope=job.scenario_fingerprint()),
+                # Radar shards must rebuild from the spec alone: seeding the
+                # reuse registry with fleet discoveries would make a
+                # re-leased attempt diverge from the first one.
+                seed_subnets=([] if job.radar is not None
+                              else self.store.snapshot(
+                                  scope=job.scenario_fingerprint())),
+                radar=(dict(job.radar)
+                       if job.radar is not None else None),
             )
 
     def heartbeat(self, worker_id: str, job_id: str, shard_index: int,
@@ -510,7 +522,12 @@ class Coordinator:
         return None
 
     def _activate(self, job: SurveyJob) -> _JobRuntime:
-        slices = shard_targets(job.targets, job.shards)
+        if job.radar is not None:
+            # Radar rounds carry state across the whole target list, so a
+            # radar job is always exactly one shard regardless of job.shards.
+            slices = [list(job.targets)]
+        else:
+            slices = shard_targets(job.targets, job.shards)
         events_path = None
         if self.work_dir is not None:
             events_path = os.path.join(self.work_dir, job.job_id,
@@ -586,6 +603,8 @@ class Coordinator:
             worker_spans={outcome.shard_index: outcome.spans
                           for outcome in outcomes
                           if outcome.spans is not None},
+            radar=next((outcome.radar for outcome in outcomes
+                        if outcome.radar is not None), None),
         )
         self.queue.transition(job.job_id, JobState.DONE)
 

@@ -79,6 +79,11 @@ class SurveyJob:
     state: JobState = JobState.QUEUED
     error: Optional[str] = None
     metadata: Dict = field(default_factory=dict)
+    #: Radar-job config (rounds, churn_*, drop_rate, incremental) — when
+    #: set, the job runs as one radar shard over the whole target list
+    #: (rounds carry state, so the slice cannot split) and the result
+    #: carries the per-round archive diffs.
+    radar: Optional[Dict] = None
 
     def scenario_fingerprint(self) -> str:
         """Content hash of the scenario this job probes.
@@ -88,7 +93,14 @@ class SurveyJob:
         rebuild byte-identical networks (same topology, policy, seeds and
         collector options).
         """
-        payload = json.dumps(dataclasses.asdict(self.spec), sort_keys=True)
+        spec_payload = dataclasses.asdict(self.spec)
+        if self.radar is not None:
+            # A radar job probes a *mutating* network: its discoveries must
+            # not seed (or be seeded by) plain surveys of the same scenario.
+            payload = json.dumps({"spec": spec_payload, "radar": self.radar},
+                                 sort_keys=True)
+        else:
+            payload = json.dumps(spec_payload, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> Dict:
@@ -105,6 +117,7 @@ class SurveyJob:
             "state": self.state.value,
             "error": self.error,
             "metadata": dict(self.metadata),
+            "radar": dict(self.radar) if self.radar is not None else None,
         }
 
     @classmethod
@@ -121,6 +134,7 @@ class SurveyJob:
             state=JobState(payload.get("state", "queued")),
             error=payload.get("error"),
             metadata=payload.get("metadata", {}),
+            radar=payload.get("radar"),
         )
 
 

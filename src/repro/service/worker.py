@@ -35,9 +35,9 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..events import CheckpointWritten, SessionEvent, SurveyProgressed, \
-    event_to_dict
+    TraceFinished, event_to_dict
 from ..metrics import MetricsRegistry, MetricsSink
-from ..parallel import run_shard
+from ..parallel import run_radar_shard, run_shard
 from .coordinator import Coordinator, ShardTask, StaleLeaseError
 
 #: Flush the event stream to the coordinator at least this often.
@@ -160,18 +160,26 @@ class VantageWorker:
         if self.fail_after_targets is not None:
             sinks.append(_CrashAfter(self.fail_after_targets))
         try:
-            payload = run_shard(
-                task.spec, task.shard_index, task.targets,
-                task.checkpoint_path, task.checkpoint_every,
-                sinks=sinks,
-                seed_subnets=task.seed_subnets,
-                # Violations are judged once, centrally, over the job's
-                # committed event stream.
-                audit=False,
-                # Ship the worker's clocked span tree in the payload; the
-                # deterministic tree is the coordinator's, from the
-                # committed journal.
-                spans=True)
+            if task.radar is not None:
+                payload = run_radar_shard(
+                    task.spec, task.shard_index, task.targets, task.radar,
+                    sinks=sinks,
+                    # Same central-audit / worker-clock split as below.
+                    audit=False,
+                    spans=True)
+            else:
+                payload = run_shard(
+                    task.spec, task.shard_index, task.targets,
+                    task.checkpoint_path, task.checkpoint_every,
+                    sinks=sinks,
+                    seed_subnets=task.seed_subnets,
+                    # Violations are judged once, centrally, over the job's
+                    # committed event stream.
+                    audit=False,
+                    # Ship the worker's clocked span tree in the payload; the
+                    # deterministic tree is the coordinator's, from the
+                    # committed journal.
+                    spans=True)
         except (StaleLeaseError, WorkerCrashed):
             raise
         except Exception as exc:
@@ -185,8 +193,15 @@ class VantageWorker:
         self.shards_completed += 1
 
     def _heartbeat_sink(self, task: ShardTask):
+        # Radar shards run through RadarRunner, which emits no
+        # SurveyProgressed/CheckpointWritten — heartbeat per finished
+        # trace instead so long radar jobs don't get reaped mid-round.
+        kinds = ((SurveyProgressed, CheckpointWritten, TraceFinished)
+                 if task.radar is not None
+                 else (SurveyProgressed, CheckpointWritten))
+
         def sink(event: SessionEvent) -> None:
-            if isinstance(event, (SurveyProgressed, CheckpointWritten)):
+            if isinstance(event, kinds):
                 self.coordinator.heartbeat(self.worker_id, task.job_id,
                                            task.shard_index, task.attempt)
         # StaleLeaseError from a fenced heartbeat is control flow, not a

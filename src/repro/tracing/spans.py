@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional
 from ..events import (
     CacheHit,
     CheckpointWritten,
+    DegradedResult,
     HeuristicFired,
     HopObserved,
     ProbeBatchSent,
@@ -56,6 +57,7 @@ from ..events import (
     SubnetPositioned,
     SubnetShrunk,
     SurveyProgressed,
+    TopologyMutated,
     TraceFinished,
     TraceStarted,
 )
@@ -185,6 +187,8 @@ class SpanBuilder:
             SubnetGrown: self._on_grown,
             CheckpointWritten: self._on_checkpoint,
             SurveyProgressed: self._on_progress,
+            TopologyMutated: self._on_mutation,
+            DegradedResult: self._on_degraded,
         }
         # Dispatch-mask interests: producers skip constructing event types
         # the builder ignores (OverheadViolation stays out by design).
@@ -331,6 +335,25 @@ class SpanBuilder:
         self._hops = {}
         self._hop = None
         self._growth = {}
+
+    def _on_mutation(self, event: TopologyMutated) -> None:
+        """A churn marker at the attach point — mid-trace mutations become
+        children of the trace they interrupted, which is exactly what a
+        critical-path reading of a degraded trace needs to see."""
+        span = self._attach_point().child(
+            "mutation", f"{event.kind}@{event.epoch}",
+            meta={"kind": event.kind, "epoch": event.epoch,
+                  "sequence": event.sequence, "target": event.target})
+        span.count("mutations")
+        self._touch(span)
+
+    def _on_degraded(self, event: DegradedResult) -> None:
+        trace = self._trace
+        if trace is None:
+            return
+        trace.meta.update(degraded=True, confidence=event.confidence,
+                          degraded_reason=event.reason)
+        trace.count("degraded")
 
     def _on_probe(self, event: ProbeSent) -> None:
         self._count_probe("probes", event.phase, event.ttl)

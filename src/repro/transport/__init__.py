@@ -7,7 +7,9 @@ never name a backend.  Shipped backends:
 * :class:`SimulatorTransport` — the deterministic forwarding engine;
 * :class:`RecordingTransport` — journals every exchange to JSONL;
 * :class:`ReplayTransport` — re-serves a journal with no network at all;
-* :class:`FaultInjectingTransport` — seeded drops/blackholes for robustness.
+* :class:`FaultInjectingTransport` — seeded drops/blackholes/loss bursts;
+* :class:`MutatingTransport` — fires seeded topology mutations at probe
+  epochs (the radar churn seam).
 """
 
 from .base import (
@@ -18,6 +20,7 @@ from .base import (
     collect_backend_metrics,
     send_batch,
 )
+from .churn import MutatingTransport
 from .fault import FaultInjectingTransport
 from .journal import (
     JournalError,
@@ -31,6 +34,7 @@ from .simulator import SimulatorTransport
 __all__ = [
     "FaultInjectingTransport",
     "JournalError",
+    "MutatingTransport",
     "ProbeTransport",
     "RecordingTransport",
     "ReplayExhausted",

@@ -43,6 +43,10 @@ class SimulatorTransport:
     def capabilities(self) -> TransportCapabilities:
         return _SIMULATOR_CAPS
 
+    def idle(self, ticks: int = 1) -> None:
+        """Advance the engine clock without probing (retry backoff)."""
+        self.engine.idle(ticks)
+
     def source_address(self, host_id: str) -> int:
         hosts = self.engine.topology.hosts
         if host_id not in hosts:
